@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run against the SMALL world so a full ``pytest benchmarks/
+--benchmark-only`` pass stays under a few minutes.  The world (and its
+measurement caches) is session-scoped: the first benchmark iteration of
+each experiment pays the measurement cost, subsequent iterations measure
+the analysis pipeline over cached measurements — which is also how the
+experiments share work in production use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SMALL
+from repro.experiments.world import World
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    w = World(SMALL)
+    # Pre-warm the heavyweight shared caches so per-experiment benchmarks
+    # measure comparable work.
+    w.ping_all(w.imperva.ns.address)
+    return w

@@ -1,0 +1,103 @@
+"""Benchmarks for the extension experiments (baselines, iGreedy)."""
+
+from __future__ import annotations
+
+from repro.baselines.dailycatch import run_dailycatch
+from repro.experiments import baselines, igreedy_compare
+from repro.sitemap.igreedy import igreedy_enumerate
+
+
+def test_bench_igreedy_enumeration(benchmark, world):
+    addr = world.imperva.ns.address
+    rtts = {
+        pid: r.rtt_ms
+        for pid, r in world.ping_all(addr).items()
+        if r.rtt_ms is not None
+    }
+    result = benchmark(
+        igreedy_enumerate, world.usable_probes, rtts, world.topology.atlas
+    )
+    benchmark.extra_info["instances"] = result.count
+
+
+def test_bench_igreedy_vs_phop(benchmark, world):
+    result = benchmark.pedantic(igreedy_compare.run, args=(world,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["phop_sites"] = len(result.phop_sites)
+    benchmark.extra_info["igreedy_sites"] = len(result.igreedy_sites)
+    assert len(result.igreedy_sites) < len(result.phop_sites)
+
+
+def test_bench_dailycatch_decision(benchmark, world):
+    def decide():
+        return run_dailycatch(
+            world.tangled.network,
+            world.tangled.site_names,
+            world.engine,
+            world.usable_probes[:400],
+        )
+
+    result = benchmark.pedantic(decide, rounds=1, iterations=1)
+    benchmark.extra_info["chosen"] = result.chosen
+
+
+def test_bench_baselines_comparison(benchmark, world):
+    result = benchmark.pedantic(baselines.run, args=(world,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["p90_by_strategy"] = {
+        name: round(result.overall_percentile(name, 90), 1)
+        for name in result.rtts
+    }
+
+
+def test_bench_probe_sweep(benchmark, world):
+    from repro.experiments import probe_sweep
+
+    result = benchmark.pedantic(
+        probe_sweep.run, args=(world,), kwargs={"sizes": (100, 400, 5000)},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["completeness_curve"] = {
+        str(size): found for size, (found, _) in sorted(result.curve.items())
+    }
+
+
+def test_bench_methodology(benchmark, world):
+    from repro.experiments import methodology
+
+    result = benchmark.pedantic(methodology.run, args=(world,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["p90_by_estimator"] = {
+        label: round(cdf.percentile(90), 1)
+        for label, cdf in result.rtt.items()
+    }
+
+
+def test_bench_resilience(benchmark, world):
+    from repro.experiments import resilience
+
+    result = benchmark.pedantic(resilience.run, args=(world,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["min_reachable"] = result.min_reachable_fraction
+    assert result.min_reachable_fraction == 1.0
+
+
+def test_bench_load_balance(benchmark, world):
+    from repro.experiments import load_balance
+
+    result = benchmark.pedantic(load_balance.run, args=(world,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info["load_cv"] = {
+        d.label: round(d.coefficient_of_variation, 3)
+        for d in result.distributions.values()
+    }
+
+
+def test_bench_claim_scorecard(benchmark, world):
+    from repro.experiments.claims import verify_claims
+
+    outcomes = benchmark.pedantic(verify_claims, args=(world,),
+                                  rounds=1, iterations=1)
+    benchmark.extra_info["claims_passed"] = sum(1 for o in outcomes if o.passed)
+    benchmark.extra_info["claims_total"] = len(outcomes)
+    assert all(o.passed for o in outcomes)

@@ -1,0 +1,80 @@
+"""One benchmark per paper figure: regenerates the figure's series."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, sec54
+from repro.geo.areas import AREAS, Area
+from repro.sitemap.pipeline import Technique
+
+
+def test_bench_fig1_micro_case(benchmark):
+    result = benchmark(fig1.run)
+    benchmark.extra_info["inflation_ms"] = round(result.inflation_ms, 1)
+    assert result.inflation_ms > 100
+
+
+def test_bench_fig2_partitions(benchmark, world):
+    result = benchmark(fig2.run, world)
+    benchmark.extra_info["single_ip_country_fraction"] = {
+        v.name: round(v.single_ip_country_fraction, 3) for v in result.views
+    }
+    assert len(result.views) == 3
+
+
+def test_bench_fig3_phop_techniques(benchmark, world):
+    result = benchmark(fig3.run, world)
+    benchmark.extra_info["unresolved_phops"] = {
+        name: round(bars["p-hops"][Technique.UNRESOLVED], 3)
+        for name, bars in result.bars.items()
+    }
+    assert set(result.bars) == {"EG-3", "EG-4", "IM-6", "IM-NS"}
+
+
+def test_bench_fig4_latency_distance_cdfs(benchmark, world):
+    result = benchmark(fig4.run, world)
+    latam3 = result.series["EG3"][Area.LATAM].rtt
+    latam4 = result.series["EG4"][Area.LATAM].rtt
+    benchmark.extra_info["eg3_vs_eg4_latam_p80"] = [
+        round(latam3.percentile(80), 1), round(latam4.percentile(80), 1)
+    ]
+    assert latam4.percentile(80) < latam3.percentile(80)
+
+
+def test_bench_fig5_delta_cdfs(benchmark, world):
+    result = benchmark(fig5.run, world)
+    assert result.delta_rtt
+    benchmark.extra_info["areas"] = [a.value for a in result.delta_rtt]
+
+
+def test_bench_fig6_reopt(benchmark, world):
+    result = benchmark(fig6.run, world)
+    benchmark.extra_info["chosen_k"] = result.plan.k
+    benchmark.extra_info["p90_reduction"] = {
+        a.value: round(r, 3)
+        for a in AREAS
+        for r in [result.reduction_at_p90(a)]
+        if r is not None
+    }
+    assert result.plan.k > 3
+
+
+def test_bench_fig7_micro_case(benchmark):
+    result = benchmark(fig7.run)
+    benchmark.extra_info["inflation_ms"] = round(result.inflation_ms, 1)
+    assert result.inflation_ms > 100
+
+
+def test_bench_fig8_same_site_validation(benchmark, world):
+    result = benchmark(fig8.run, world)
+    benchmark.extra_info["median_abs_gap_ms"] = round(result.median_abs_gap_ms, 2)
+    assert result.median_abs_gap_ms < 3.0
+
+
+def test_bench_sec54_case_attribution(benchmark, world):
+    result = benchmark(sec54.run, world)
+    from repro.analysis.cases import CaseType
+
+    benchmark.extra_info["fractions"] = {
+        c.value: round(result.fraction(c), 3) for c in CaseType
+    }
+    assert result.improved_groups >= 0

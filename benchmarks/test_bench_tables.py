@@ -1,0 +1,56 @@
+"""One benchmark per paper table: regenerates the table's rows.
+
+Each benchmark's ``extra_info`` carries the headline numbers the table
+reports, so ``--benchmark-json`` output doubles as a results artifact.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mapping import MappingClass
+from repro.dnssim.resolver import DnsMode
+from repro.experiments import table1, table2, table3, table4, table5, table6
+from repro.geo.areas import Area
+
+
+def test_bench_table1_site_counts(benchmark, world):
+    result = benchmark(table1.run, world)
+    benchmark.extra_info["totals"] = {
+        name: result.total(name) for name in result.columns
+    }
+    assert result.total("IM-Pub") == 50
+
+
+def test_bench_table2_dns_mapping_efficiency(benchmark, world):
+    result = benchmark(table2.run, world)
+    benchmark.extra_info["imperva_ldns_emea_suboptimal"] = round(
+        result.fraction("Imperva-6", DnsMode.LDNS, Area.EMEA,
+                        MappingClass.REGION_SUBOPTIMAL), 4
+    )
+    assert result.efficiencies
+
+
+def test_bench_table3_tail_latency(benchmark, world):
+    result = benchmark(table3.run, world)
+    benchmark.extra_info["cells"] = {
+        area.value: {p: [round(r, 1), round(g, 1)] for p, (r, g) in cells.items()}
+        for area, cells in result.cells.items()
+    }
+    assert result.retained_fraction > 0.5
+
+
+def test_bench_table4_crosstab(benchmark, world):
+    result = benchmark(table4.run, world)
+    assert result.crosstabs
+    benchmark.extra_info["areas"] = [a.value for a in result.crosstabs]
+
+
+def test_bench_table5_survey(benchmark, world):
+    result = benchmark(table5.run, world)
+    benchmark.extra_info["hostname_sets"] = result.hostname_sets.summary()
+    assert result.survey.coverage() > 0.6
+
+
+def test_bench_table6_hostname_generalisation(benchmark, world):
+    result = benchmark(table6.run, world)
+    assert result.cells
+    benchmark.extra_info["hostsets"] = list(result.cells)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Operations drill: site failures and optimisation baselines.
+
+Two operator questions on the Tangled testbed model:
+
+1. *What happens when a site fails?*  Withdraw each site and watch its
+   catchment fail over (§4.5's robustness, quantified).
+2. *What do the prior optimisation proposals buy, compared to regional
+   anycast?*  Run DailyCatch (pick the better of two configurations),
+   an AnyOpt-style site-subset search, and ReOpt regional anycast on the
+   same network, and compare the latency distributions.
+
+Run: ``python examples/failure_drill.py``
+"""
+
+from repro.experiments import baselines, resilience
+from repro.experiments.config import SMALL
+from repro.experiments.world import World
+
+
+def main() -> None:
+    world = World(SMALL)
+    print(f"Tangled testbed: {len(world.tangled.site_names)} sites, "
+          f"{len(world.usable_probes)} probes\n")
+
+    print(resilience.run(world).render())
+    print("\nEvery withdrawal keeps 100% of clients served: anycast's\n"
+          "failover is the announcement itself — no DNS change needed.\n")
+
+    result = baselines.run(world)
+    print(result.render())
+    print(
+        "\nReading the table: DailyCatch can only pick the better of its\n"
+        "two configurations; AnyOpt trims the tail by *removing* badly\n"
+        "placed sites; regional anycast keeps every site in service and\n"
+        "still wins the median — the paper's §2 argument, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""ReOpt: plan, deploy, and evaluate latency-based regional anycast (§6).
+
+Shows the planner's full loop on the Tangled testbed model:
+
+1. measure per-probe unicast latency to every site;
+2. sweep the region count K = 3..6, deploying and *measuring* each
+   candidate partition;
+3. print the chosen partition, the country-level DNS mapping, and the
+   regional-vs-global latency comparison per area.
+
+Run: ``python examples/reopt_planner.py``
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments import fig6
+from repro.experiments.config import SMALL
+from repro.experiments.world import World
+from repro.tangled.reopt import ReOpt
+
+
+def main() -> None:
+    world = World(SMALL)
+    reopt = ReOpt(world.tangled, world.engine, world.usable_probes)
+
+    # Step 1-2: sweep K, measuring each deployed candidate.
+    best, plans = reopt.sweep((3, 6))
+    print(render_table(
+        ["K", "mean measured RTT (ms)", "chosen"],
+        [[p.k, f"{p.mean_measured_latency_ms:.1f}",
+          "<-- " if p.k == best.k else ""] for p in plans],
+        title="region-count sweep",
+    ))
+
+    print(f"\nchosen partition (K={best.k}):")
+    for region in best.regions():
+        sites = " ".join(best.sites_of_region(region))
+        countries = sorted(
+            c for c, r in best.region_of_country.items() if r == region
+        )
+        print(f"  {region}: sites [{sites}]  "
+              f"countries {', '.join(countries[:10])}"
+              f"{' ...' if len(countries) > 10 else ''}")
+
+    # Step 3: the full Fig. 6 evaluation (direct vs Route 53 vs global).
+    print()
+    print(fig6.run(world).render())
+
+
+if __name__ == "__main__":
+    main()

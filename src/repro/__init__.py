@@ -1,0 +1,21 @@
+"""Reproduction of "Regional IP Anycast: Deployments, Performance, and
+Potentials" (SIGCOMM 2023) on a simulated Internet.
+
+The library is organised bottom-up; see README.md for the architecture
+overview and DESIGN.md for the system inventory.  The most common entry
+points:
+
+- :func:`repro.topology.InternetBuilder.build` — generate a seeded
+  synthetic Internet;
+- :class:`repro.anycast.AnycastNetwork` — deploy anycast sites and build
+  announcements;
+- :class:`repro.measurement.MeasurementEngine` — ping / traceroute from
+  RIPE-Atlas-like probes;
+- :mod:`repro.experiments` — one harness per paper table and figure
+  (``python -m repro.experiments.runner`` regenerates them all);
+- ``python -m repro`` — the command-line interface.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,33 @@
+"""Analysis: the paper's estimators, comparisons, and case studies.
+
+- :mod:`repro.analysis.cdf` — empirical CDFs and the percentile
+  conventions used by every figure and table.
+- :mod:`repro.analysis.mapping` — DNS mapping efficiency classification
+  (Table 2): efficient (ΔRTT < 5 ms), ✓Region sub-optimal, ×Region.
+- :mod:`repro.analysis.compare` — the §5.3 regional-vs-global comparison:
+  overlap filtering of sites and peers, per-group RTT/distance deltas
+  (Fig. 5), the better/similar/worse × closer/same/further cross-tab
+  (Table 4), tail-latency percentiles (Table 3), and the same-site
+  validation population (Fig. 8 / Appendix D).
+- :mod:`repro.analysis.cases` — the §5.4 BGP case-study classifier:
+  AS-relationship overrides vs peering-type overrides.
+- :mod:`repro.analysis.report` — plain-text table rendering shared by
+  experiments and benchmarks.
+"""
+
+from repro.analysis.cdf import EmpiricalCDF, percentile
+from repro.analysis.compare import ComparisonFilter, GroupComparison, RegionalGlobalComparison
+from repro.analysis.mapping import MappingClass, MappingEfficiency, classify_mapping
+from repro.analysis.report import render_table
+
+__all__ = [
+    "ComparisonFilter",
+    "EmpiricalCDF",
+    "GroupComparison",
+    "MappingClass",
+    "MappingEfficiency",
+    "RegionalGlobalComparison",
+    "classify_mapping",
+    "percentile",
+    "render_table",
+]

@@ -1,0 +1,64 @@
+"""Terminal CDF plots.
+
+The paper's figures are CDF plots; for terminal-first workflows this
+module renders a set of labelled CDFs as an ASCII chart so experiment
+output can be eyeballed without leaving the shell (``python -m repro run
+fig6 --plots``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import EmpiricalCDF
+
+#: Marker characters cycled across series.
+_MARKERS = "ox+*#@%&"
+
+
+def render_cdf_plot(
+    series: dict[str, EmpiricalCDF],
+    width: int = 72,
+    height: int = 16,
+    x_max: float | None = None,
+    x_label: str = "ms",
+    title: str | None = None,
+) -> str:
+    """Render labelled CDFs on one ASCII chart.
+
+    The x axis spans [0, x_max] (default: the 98th percentile of the
+    widest series, rounded up); the y axis spans [0, 1].
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 20 or height < 5:
+        raise ValueError("plot area too small")
+    if x_max is None:
+        x_max = max(cdf.percentile(98) for cdf in series.values())
+        x_max = max(1.0, float(int(x_max / 10.0 + 1) * 10))
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, cdf) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for col in range(width):
+            x = x_max * col / (width - 1)
+            y = cdf.fraction_at(x)
+            row = height - 1 - int(round(y * (height - 1)))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        axis = f"{frac:4.2f} |"
+        lines.append(axis + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = "0"
+    mid = f"{x_max / 2:.0f}"
+    right = f"{x_max:.0f} {x_label}"
+    pad = width - len(left) - len(mid) - len(right)
+    lines.append("      " + left + " " * (pad // 2) + mid
+                 + " " * (pad - pad // 2) + right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""The §5.3 regional-vs-global comparison pipeline.
+
+To compare Imperva's regional CDN against its global-anycast DNS network
+fairly, the paper filters the probe population down to measurements that
+exercise the *same* infrastructure in both networks:
+
+1. drop probes without a valid (attributable) p-hop in either traceroute;
+2. drop probes that reach a site not present in both networks;
+3. per overlapping site, build the set of peers (ASes or IXPs owning the
+   p-hops) observed in both networks, and drop probes that reach their
+   site via a peer outside the common set.
+
+What remains (82.1% of groups in the paper) supports Fig. 4c, Fig. 5,
+Table 3, Table 4, and the Fig. 8 same-site validation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.cdf import EmpiricalCDF, percentile
+from repro.geo.areas import Area
+from repro.geo.atlas import City
+from repro.measurement.grouping import ProbeGroup
+from repro.measurement.probes import Probe
+
+#: ΔRTT threshold separating better/similar/worse groups (Table 4).
+COMPARISON_THRESHOLD_MS = 5.0
+
+#: A p-hop owner: ("as", asn) for BGP-visible space, ("ixp", id) for IXP
+#: peering LANs (identified via PeeringDB-like published prefixes).
+PeerOwner = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ProbeObservation:
+    """One probe's measurement of one network (regional or global)."""
+
+    probe_id: int
+    rtt_ms: float | None
+    #: Inferred catchment site city (from the §4.4 pipeline).
+    site: City | None
+    #: Owner of the p-hop (None when unattributable — filtered out).
+    peer_owner: PeerOwner | None
+
+    @property
+    def valid(self) -> bool:
+        return self.rtt_ms is not None and self.site is not None and self.peer_owner is not None
+
+
+@dataclass
+class ComparisonFilter:
+    """Accounting of the §5.3 filtering steps."""
+
+    total_groups: int = 0
+    dropped_no_phop: int = 0
+    dropped_site_overlap: int = 0
+    dropped_peer_overlap: int = 0
+    retained_groups: int = 0
+
+    @property
+    def retained_fraction(self) -> float:
+        if self.total_groups == 0:
+            return 0.0
+        return self.retained_groups / self.total_groups
+
+
+@dataclass(frozen=True)
+class GroupComparison:
+    """One probe group's paired regional/global measurement."""
+
+    group_key: tuple[str, int]
+    area: Area
+    rtt_regional_ms: float
+    rtt_global_ms: float
+    dist_regional_km: float
+    dist_global_km: float
+    site_regional: City
+    site_global: City
+
+    @property
+    def delta_rtt_ms(self) -> float:
+        return self.rtt_regional_ms - self.rtt_global_ms
+
+    @property
+    def delta_dist_km(self) -> float:
+        return self.dist_regional_km - self.dist_global_km
+
+    @property
+    def performance(self) -> str:
+        """Table 4 row: 'better' / 'similar' / 'worse' in regional."""
+        if self.delta_rtt_ms < -COMPARISON_THRESHOLD_MS:
+            return "better"
+        if self.delta_rtt_ms > COMPARISON_THRESHOLD_MS:
+            return "worse"
+        return "similar"
+
+    @property
+    def site_relation(self) -> str:
+        """Table 4 column: 'closer' / 'same' / 'further' site in regional."""
+        if self.site_regional.iata == self.site_global.iata:
+            return "same"
+        return "closer" if self.dist_regional_km < self.dist_global_km else "further"
+
+
+@dataclass
+class RegionalGlobalComparison:
+    """Filtered, paired per-group comparison plus its derived statistics."""
+
+    groups: list[GroupComparison]
+    filter_stats: ComparisonFilter
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        probe_groups: list[ProbeGroup],
+        regional: dict[int, ProbeObservation],
+        global_: dict[int, ProbeObservation],
+        overlapping_sites: set[str],
+    ) -> "RegionalGlobalComparison":
+        """Run the three §5.3 filters and aggregate to probe groups."""
+        stats = ComparisonFilter(total_groups=len(probe_groups))
+        # Common peers per overlapping site, from all probes' p-hops.
+        peers_regional: dict[str, set[PeerOwner]] = defaultdict(set)
+        peers_global: dict[str, set[PeerOwner]] = defaultdict(set)
+        for obs in regional.values():
+            if obs.valid and obs.site.iata in overlapping_sites:
+                peers_regional[obs.site.iata].add(obs.peer_owner)
+        for obs in global_.values():
+            if obs.valid and obs.site.iata in overlapping_sites:
+                peers_global[obs.site.iata].add(obs.peer_owner)
+        common_peers = {
+            iata: peers_regional[iata] & peers_global[iata]
+            for iata in overlapping_sites
+        }
+
+        def drop_reason(
+            reg: ProbeObservation, glob: ProbeObservation
+        ) -> str | None:
+            """The paper's three filters, applied in order, to the pair."""
+            if not reg.valid or not glob.valid:
+                return "no_phop"
+            if (
+                reg.site.iata not in overlapping_sites
+                or glob.site.iata not in overlapping_sites
+            ):
+                return "site"
+            if (
+                reg.peer_owner not in common_peers[reg.site.iata]
+                or glob.peer_owner not in common_peers[glob.site.iata]
+            ):
+                return "peer"
+            return None
+
+        comparisons: list[GroupComparison] = []
+        for group in probe_groups:
+            reasons: Counter = Counter()
+            reg_kept: list[tuple[Probe, ProbeObservation]] = []
+            glob_kept: list[tuple[Probe, ProbeObservation]] = []
+            for probe in group.probes:
+                reg = regional.get(probe.probe_id)
+                glob = global_.get(probe.probe_id)
+                if reg is None or glob is None:
+                    reasons["no_phop"] += 1
+                    continue
+                reason = drop_reason(reg, glob)
+                if reason is not None:
+                    reasons[reason] += 1
+                    continue
+                reg_kept.append((probe, reg))
+                glob_kept.append((probe, glob))
+            if not reg_kept:
+                if reasons.most_common():
+                    top = reasons.most_common(1)[0][0]
+                    if top == "no_phop":
+                        stats.dropped_no_phop += 1
+                    elif top == "site":
+                        stats.dropped_site_overlap += 1
+                    else:
+                        stats.dropped_peer_overlap += 1
+                continue
+            stats.retained_groups += 1
+            comparisons.append(
+                cls._aggregate_group(group, reg_kept, glob_kept)
+            )
+        return cls(groups=comparisons, filter_stats=stats)
+
+    @staticmethod
+    def _aggregate_group(
+        group: ProbeGroup,
+        reg_kept: list[tuple[Probe, ProbeObservation]],
+        glob_kept: list[tuple[Probe, ProbeObservation]],
+    ) -> GroupComparison:
+        import statistics
+
+        def majority_site(kept: list[tuple[Probe, ProbeObservation]]) -> City:
+            counts: Counter = Counter(obs.site.iata for _, obs in kept)
+            winner = counts.most_common(1)[0][0]
+            for _, obs in kept:
+                if obs.site.iata == winner:
+                    return obs.site
+            raise AssertionError("unreachable")
+
+        site_reg = majority_site(reg_kept)
+        site_glob = majority_site(glob_kept)
+        rtt_reg = statistics.median(obs.rtt_ms for _, obs in reg_kept)
+        rtt_glob = statistics.median(obs.rtt_ms for _, obs in glob_kept)
+        dist_reg = statistics.median(
+            probe.location.distance_km(obs.site.location) for probe, obs in reg_kept
+        )
+        dist_glob = statistics.median(
+            probe.location.distance_km(obs.site.location) for probe, obs in glob_kept
+        )
+        return GroupComparison(
+            group_key=group.key,
+            area=group.area,
+            rtt_regional_ms=rtt_reg,
+            rtt_global_ms=rtt_glob,
+            dist_regional_km=dist_reg,
+            dist_global_km=dist_glob,
+            site_regional=site_reg,
+            site_global=site_glob,
+        )
+
+    # ------------------------------------------------------------------
+    def in_area(self, area: Area) -> list[GroupComparison]:
+        return [g for g in self.groups if g.area is area]
+
+    def tail_latency(self, area: Area, percentiles: tuple[int, ...] = (80, 90, 95)) -> dict[int, tuple[float, float]]:
+        """Table 3 cells: {p: (regional, global)} for one area."""
+        in_area = self.in_area(area)
+        if not in_area:
+            return {}
+        reg = [g.rtt_regional_ms for g in in_area]
+        glob = [g.rtt_global_ms for g in in_area]
+        return {p: (percentile(reg, p), percentile(glob, p)) for p in percentiles}
+
+    def crosstab(self, area: Area) -> dict[str, dict[str, float]]:
+        """Table 4: performance row → site-relation fractions."""
+        result: dict[str, dict[str, float]] = {}
+        in_area = self.in_area(area)
+        for perf in ("better", "similar", "worse"):
+            rows = [g for g in in_area if g.performance == perf]
+            if not rows:
+                result[perf] = {"closer": 0.0, "same": 0.0, "further": 0.0, "count": 0}
+                continue
+            counts = Counter(g.site_relation for g in rows)
+            result[perf] = {
+                "closer": counts.get("closer", 0) / len(rows),
+                "same": counts.get("same", 0) / len(rows),
+                "further": counts.get("further", 0) / len(rows),
+                "count": len(rows),
+            }
+        return result
+
+    def delta_rtt_cdf(self, area: Area) -> EmpiricalCDF | None:
+        in_area = self.in_area(area)
+        if not in_area:
+            return None
+        return EmpiricalCDF.of([g.delta_rtt_ms for g in in_area])
+
+    def delta_dist_cdf(self, area: Area) -> EmpiricalCDF | None:
+        in_area = self.in_area(area)
+        if not in_area:
+            return None
+        return EmpiricalCDF.of([g.delta_dist_km for g in in_area])
+
+    def same_site_groups(self) -> list[GroupComparison]:
+        """The Fig. 8 validation population: same catchment site in both."""
+        return [g for g in self.groups if g.site_relation == "same"]

@@ -1,0 +1,85 @@
+"""Catchment load distribution under global vs regional anycast.
+
+Anycast is used "to reduce client latency and balance load" (§1), and
+the paper's closing argument for regional anycast notes an operator
+"need not manage load-balancing and fault tolerance among those sites"
+because a regional IP covers multiple sites (§6.2).  This module
+quantifies how each configuration spreads clients over sites:
+
+- per-site catchment shares;
+- the coefficient of variation (CV) of per-site load — 0 for a perfectly
+  even spread;
+- the maximum site share (the hot-spot an operator must provision for).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.measurement.engine import PingResult
+
+
+@dataclass(frozen=True)
+class LoadDistribution:
+    """Catchment load over the sites of one configuration."""
+
+    label: str
+    #: site node id → number of probes caught.
+    load: dict[int, int]
+    #: Sites that were announced but caught nobody.
+    empty_sites: int
+
+    @property
+    def total(self) -> int:
+        return sum(self.load.values())
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.load) + self.empty_sites
+
+    def share_of(self, node_id: int) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.load.get(node_id, 0) / self.total
+
+    @property
+    def max_share(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return max(self.load.values()) / self.total
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """CV of per-site load, counting announced-but-empty sites."""
+        if self.num_sites == 0 or self.total == 0:
+            return 0.0
+        counts = list(self.load.values()) + [0] * self.empty_sites
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return math.sqrt(var) / mean
+
+
+def load_distribution(
+    label: str,
+    pings: dict[int, PingResult],
+    announced_sites: list[int],
+) -> LoadDistribution:
+    """Build a :class:`LoadDistribution` from ping catchments."""
+    counts: Counter = Counter(
+        r.catchment for r in pings.values() if r.catchment is not None
+    )
+    announced = set(announced_sites)
+    unknown = set(counts) - announced
+    if unknown:
+        raise ValueError(
+            f"{label}: catchments outside the announced sites: {sorted(unknown)}"
+        )
+    return LoadDistribution(
+        label=label,
+        load={node: counts[node] for node in sorted(counts)},
+        empty_sites=len(announced - set(counts)),
+    )

@@ -1,0 +1,109 @@
+"""DNS mapping efficiency classification (§5.1, Table 2).
+
+For each probe group the paper compares the RTT of the regional IP
+**returned by DNS** against the group's lowest RTT over **all** regional
+IPs:
+
+- ``EFFICIENT`` — the returned IP is within 5 ms of the best;
+- ``REGION_SUBOPTIMAL`` (✓Region, ΔRTT ≥ 5 ms) — DNS returned the region
+  *intended* for the client's country, but a different region's IP is
+  ≥ 5 ms faster (a rigid-partition cost: the US/CA border, Russia);
+- ``WRONG_REGION`` (×Region, ΔRTT ≥ 5 ms) — DNS returned a region not
+  intended for the client's country, typically an IP-geolocation error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cdn.deployment import RegionalDeployment
+from repro.geo.areas import Area
+from repro.measurement.grouping import ProbeGroup
+from repro.netaddr.ipv4 import IPv4Address
+
+#: "We consider 5 ms a reasonable threshold to differentiate the
+#: performance of two CDN sites" (§5.1).
+DELTA_RTT_THRESHOLD_MS = 5.0
+
+
+class MappingClass(enum.Enum):
+    """Table 2's three row groups."""
+
+    EFFICIENT = "dRTT<5ms"
+    REGION_SUBOPTIMAL = "vRegion,dRTT>=5ms"
+    WRONG_REGION = "xRegion,dRTT>=5ms"
+
+
+@dataclass(frozen=True)
+class GroupMapping:
+    """Per-group classification inputs and outcome."""
+
+    group_key: tuple[str, int]
+    area: Area
+    received_addr: IPv4Address
+    received_region: str | None
+    intended_region: str
+    rtt_received_ms: float
+    rtt_best_ms: float
+    outcome: MappingClass
+
+    @property
+    def delta_rtt_ms(self) -> float:
+        return self.rtt_received_ms - self.rtt_best_ms
+
+
+@dataclass
+class MappingEfficiency:
+    """Aggregated Table 2 numbers for one (hostset, DNS mode)."""
+
+    groups: list[GroupMapping]
+
+    def fraction(self, area: Area, outcome: MappingClass) -> float:
+        in_area = [g for g in self.groups if g.area is area]
+        if not in_area:
+            return 0.0
+        return sum(1 for g in in_area if g.outcome is outcome) / len(in_area)
+
+    def counts(self, area: Area) -> dict[MappingClass, int]:
+        in_area = [g for g in self.groups if g.area is area]
+        return {
+            outcome: sum(1 for g in in_area if g.outcome is outcome)
+            for outcome in MappingClass
+        }
+
+
+def classify_mapping(
+    deployment: RegionalDeployment,
+    group: ProbeGroup,
+    received_addr: IPv4Address,
+    rtt_by_addr: dict[IPv4Address, float],
+    threshold_ms: float = DELTA_RTT_THRESHOLD_MS,
+) -> GroupMapping | None:
+    """Classify one probe group's DNS mapping.
+
+    ``rtt_by_addr`` holds the group's (median) RTT to every regional
+    address; returns None when the received address was not measured.
+    """
+    if received_addr not in rtt_by_addr:
+        return None
+    rtt_received = rtt_by_addr[received_addr]
+    rtt_best = min(rtt_by_addr.values())
+    received_region = deployment.region_of_address(received_addr)
+    intended_region = deployment.region_map.region_for(group.country)
+    if rtt_received - rtt_best < threshold_ms:
+        outcome = MappingClass.EFFICIENT
+    elif received_region == intended_region:
+        outcome = MappingClass.REGION_SUBOPTIMAL
+    else:
+        outcome = MappingClass.WRONG_REGION
+    return GroupMapping(
+        group_key=group.key,
+        area=group.area,
+        received_addr=received_addr,
+        received_region=received_region,
+        intended_region=intended_region,
+        rtt_received_ms=rtt_received,
+        rtt_best_ms=rtt_best,
+        outcome=outcome,
+    )

@@ -1,0 +1,23 @@
+"""Generic anycast deployments on a topology.
+
+An *anycast network* (a CDN, a DNS provider, or a testbed like Tangled)
+owns an ASN and a set of **sites**.  Each site is an origin-only node in
+the routing graph attached to the Internet through transit providers and —
+where a metro hosts an exchange — public and route-server IXP peering.
+
+The network can announce any service prefix from any subset of its sites,
+optionally restricting per-site neighbor sets; this single primitive
+expresses every configuration the paper studies:
+
+- *global anycast*: one prefix, all sites (§5.3's Imperva-NS, §6.2's
+  Tangled global configuration);
+- *regional anycast*: one prefix per region, each announced from the
+  region's sites, with cross-region ("MIXED") sites announcing several
+  prefixes (§4.4);
+- *unicast*: one prefix from one site (ReOpt's per-site latency
+  measurements, §6.1).
+"""
+
+from repro.anycast.network import AnycastNetwork, AnycastSite, SiteAttachment
+
+__all__ = ["AnycastNetwork", "AnycastSite", "SiteAttachment"]

@@ -1,0 +1,29 @@
+"""Baseline anycast-optimisation proposals the paper compares against.
+
+§2.2 surveys the prior approaches to catchment inefficiency; the paper
+argues regional anycast dominates them and "leaves a comparison between
+regional anycast and other proposals as future work".  This package
+implements the two measurable proposals on the same substrate so that
+comparison can actually be run (see ``repro.experiments.baselines``):
+
+- :mod:`repro.baselines.dailycatch` — DailyCatch (McQuistin et al.,
+  IMC'19): routine measurements choose between a transit-provider-only
+  and an all-peer announcement configuration.  It picks the better of
+  exactly two configurations; catchment inefficiencies survive under
+  either.
+- :mod:`repro.baselines.anyopt` — AnyOpt (Zhang et al., SIGCOMM'21),
+  reproduced in spirit: search the space of *site subsets* for the
+  configuration minimising client latency, using measured catchments.
+  The original predicts catchments from pairwise BGP experiments; on the
+  simulator every candidate deployment can simply be measured.
+"""
+
+from repro.baselines.anyopt import AnyOptResult, anyopt_site_search
+from repro.baselines.dailycatch import DailyCatchResult, run_dailycatch
+
+__all__ = [
+    "AnyOptResult",
+    "DailyCatchResult",
+    "anyopt_site_search",
+    "run_dailycatch",
+]

@@ -1,0 +1,38 @@
+"""CDN deployment models: Edgio-like, Imperva-like, and the CDN survey.
+
+This package instantiates, on the simulated Internet, the regional-anycast
+deployments the paper dissects:
+
+- :mod:`repro.cdn.deployment` — generic regional and global anycast
+  deployments: regions, regional prefixes, cross-region ("MIXED") sites,
+  the country→region intent map, and hostname services on top.
+- :mod:`repro.cdn.edgio` — the Edgio model: 79 published sites, the
+  3-region configuration serving Edgio-3 customers (South America mapped
+  to the Americas prefix) and the 4-region configuration serving Edgio-4
+  customers (with the Florida MIXED site covering NA + SA).
+- :mod:`repro.cdn.imperva` — the Imperva model: 50 published sites, the
+  6-region configuration (US / CA split, a Russia region served from
+  three European sites, a California site cross-announcing APAC) and the
+  Imperva-NS global-anycast DNS network sharing 48 of its sites.
+- :mod:`repro.cdn.survey` — the §4.1–4.2 discovery pipeline: a synthetic
+  Tranco-like top list, CDNFinder-style provider attribution, worldwide
+  ECS resolution, and the Edgio-3 / Edgio-4 / Imperva-6 hostname-set
+  classification (plus Table 5's redirection survey).
+"""
+
+from repro.cdn.deployment import GlobalDeployment, RegionalDeployment
+from repro.cdn.edgio import EdgioModel, build_edgio
+from repro.cdn.imperva import ImpervaModel, build_imperva
+from repro.cdn.survey import CdnSurvey, SurveyParams, TOP_CDN_REDIRECTION
+
+__all__ = [
+    "CdnSurvey",
+    "EdgioModel",
+    "GlobalDeployment",
+    "ImpervaModel",
+    "RegionalDeployment",
+    "SurveyParams",
+    "TOP_CDN_REDIRECTION",
+    "build_edgio",
+    "build_imperva",
+]

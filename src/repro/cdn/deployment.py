@@ -1,0 +1,174 @@
+"""Generic regional and global anycast deployments."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.anycast.network import AnycastNetwork, AnycastSite
+from repro.dnssim.service import GeoMappingService, RegionMap
+from repro.geo.areas import Area
+from repro.geo.atlas import City
+from repro.geoloc.database import GeoDatabase
+from repro.measurement.engine import ServiceRegistry
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.routing.route import Announcement
+
+
+@dataclass
+class RegionalDeployment:
+    """One regional-anycast configuration of an anycast network.
+
+    ``regions`` maps region name → site names announcing that region's
+    prefix.  A site listed under several regions is a *cross-region*
+    ("MIXED") announcer, like Imperva's California site serving APAC or
+    its three European sites serving the Russia region (§4.4).
+    ``region_map`` is the DNS intent: which region each client country
+    should receive.
+    """
+
+    name: str
+    network: AnycastNetwork
+    regions: dict[str, list[str]]
+    region_map: RegionMap
+    prefixes: dict[str, IPv4Prefix] = field(default_factory=dict)
+    #: The provider's published PoP list (a superset of deployed sites).
+    published_cities: list[City] = field(default_factory=list)
+    #: Optional per-region, per-site neighbor restrictions (§5.3 models
+    #: per-prefix peering differences with these).
+    neighbor_restriction: dict[str, dict[str, frozenset[int]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        for region, site_names in self.regions.items():
+            if not site_names:
+                raise ValueError(f"{self.name}: region {region!r} has no sites")
+            for site_name in site_names:
+                self.network.site(site_name)  # raises for unknown sites
+        for region in self.region_map.regions():
+            if region not in self.regions:
+                raise ValueError(
+                    f"{self.name}: region map references unknown region {region!r}"
+                )
+        if not self.prefixes:
+            self.prefixes = {
+                region: self.network.allocate_service_prefix()
+                for region in sorted(self.regions)
+            }
+
+    # ------------------------------------------------------------------
+    @property
+    def region_names(self) -> list[str]:
+        return sorted(self.regions)
+
+    def address_of_region(self, region: str) -> IPv4Address:
+        return AnycastNetwork.service_address(self.prefixes[region])
+
+    def addresses(self) -> dict[str, IPv4Address]:
+        return {r: self.address_of_region(r) for r in self.regions}
+
+    def regional_addresses(self) -> list[IPv4Address]:
+        return [self.address_of_region(r) for r in self.region_names]
+
+    def region_of_address(self, addr: IPv4Address) -> str | None:
+        for region in self.region_names:
+            if self.address_of_region(region) == addr:
+                return region
+        return None
+
+    def announcements(self) -> list[Announcement]:
+        return [
+            self.network.announcement(
+                self.prefixes[region],
+                self.regions[region],
+                neighbor_restriction=self.neighbor_restriction.get(region),
+            )
+            for region in self.region_names
+        ]
+
+    def register(self, registry: ServiceRegistry) -> None:
+        for announcement in self.announcements():
+            registry.register(announcement)
+
+    # ------------------------------------------------------------------
+    def deployed_sites(self) -> list[AnycastSite]:
+        names = sorted({n for sites in self.regions.values() for n in sites})
+        return [self.network.site(n) for n in names]
+
+    def mixed_sites(self) -> list[AnycastSite]:
+        """Sites announcing more than one regional prefix."""
+        count: Counter = Counter()
+        for sites in self.regions.values():
+            for name in sites:
+                count[name] += 1
+        return [self.network.site(n) for n, c in sorted(count.items()) if c > 1]
+
+    def regions_of_site(self, site_name: str) -> list[str]:
+        return [r for r in self.region_names if site_name in self.regions[r]]
+
+    def sites_by_area(self) -> dict[Area, int]:
+        """Deployed-site counts per probe area (a Table 1 column)."""
+        counts: dict[Area, int] = {a: 0 for a in Area}
+        for site in self.deployed_sites():
+            counts[site.area] += 1
+        return counts
+
+    def published_by_area(self) -> dict[Area, int]:
+        counts: dict[Area, int] = {a: 0 for a in Area}
+        for city in self.published_cities:
+            counts[city.area] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def service_for(self, hostname: str, geodb: GeoDatabase) -> GeoMappingService:
+        """A customer hostname resolved through this deployment."""
+        return GeoMappingService(
+            hostname=hostname,
+            region_map=self.region_map,
+            addresses=self.addresses(),
+            geodb=geodb,
+        )
+
+
+@dataclass
+class GlobalDeployment:
+    """A global-anycast configuration: one prefix from every site."""
+
+    name: str
+    network: AnycastNetwork
+    site_names: list[str]
+    prefix: IPv4Prefix | None = None
+    published_cities: list[City] = field(default_factory=list)
+    neighbor_restriction: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.site_names:
+            raise ValueError(f"{self.name}: global deployment has no sites")
+        for site_name in self.site_names:
+            self.network.site(site_name)
+        if self.prefix is None:
+            self.prefix = self.network.allocate_service_prefix()
+
+    @property
+    def address(self) -> IPv4Address:
+        return AnycastNetwork.service_address(self.prefix)
+
+    def announcement(self) -> Announcement:
+        return self.network.announcement(
+            self.prefix,
+            self.site_names,
+            neighbor_restriction=self.neighbor_restriction or None,
+        )
+
+    def register(self, registry: ServiceRegistry) -> None:
+        registry.register(self.announcement())
+
+    def deployed_sites(self) -> list[AnycastSite]:
+        return [self.network.site(n) for n in sorted(self.site_names)]
+
+    def sites_by_area(self) -> dict[Area, int]:
+        counts: dict[Area, int] = {a: 0 for a in Area}
+        for site in self.deployed_sites():
+            counts[site.area] += 1
+        return counts

@@ -1,0 +1,142 @@
+"""The Edgio (formerly Edgecast) regional anycast model.
+
+Facts reproduced from the paper:
+
+- Edgio publishes 79 PoPs (Table 1's EG-Pub column: 19 APAC, 26 EMEA,
+  24 NA, 10 LatAm) but the measured deployments expose fewer sites;
+- **Edgio-3** customers resolve to three regional IPs; the measured site
+  partition has 43 sites (14/15/13/1) in three regions, with South
+  American clients mapped to the *Americas* prefix (Fig. 2a);
+- **Edgio-4** customers resolve to four regional IPs; 47 sites
+  (15/16/12/4) in four regions, with a Florida "MIXED" site announcing
+  both the NA and SA prefixes (Fig. 2b);
+- region boundaries follow continents (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anycast.network import AnycastNetwork, SiteAttachment
+from repro.cdn.deployment import RegionalDeployment
+from repro.dnssim.service import RegionMap
+from repro.geo.areas import Area, area_of_country
+from repro.geo.atlas import City, WorldAtlas
+from repro.geo.countries import iter_countries
+from repro.topology.graph import Topology
+
+EDGIO_ASN = 15133
+
+#: Published PoP list (79 metros: 19 APAC / 26 EMEA / 24 NA / 10 LatAm).
+EDGIO_PUBLISHED: tuple[str, ...] = (
+    # APAC (19)
+    "NRT", "KIX", "ICN", "PUS", "HKG", "TPE", "SIN", "KUL", "BKK", "MNL",
+    "CGK", "SGN", "BOM", "DEL", "MAA", "BLR", "SYD", "MEL", "AKL",
+    # EMEA (26)
+    "LHR", "MAN", "DUB", "AMS", "BRU", "CDG", "FRA", "MUC", "DUS", "ZRH",
+    "MXP", "FCO", "MAD", "BCN", "LIS", "VIE", "WAW", "PRG", "ARN", "CPH",
+    "OSL", "HEL", "IST", "TLV", "JNB", "CAI",
+    # NA (24)
+    "JFK", "IAD", "BOS", "PHL", "ATL", "MIA", "ORD", "DTW", "MSP", "DFW",
+    "IAH", "DEN", "PHX", "LAX", "SAN", "SJC", "SFO", "SEA", "YYZ", "YUL",
+    "YVR", "CLT", "STL", "LAS",
+    # LatAm (10)
+    "GRU", "GIG", "EZE", "SCL", "BOG", "LIM", "MEX", "PTY", "SJU", "MVD",
+)
+
+#: Sites serving Edgio-3 customers (43: 14 APAC / 15 EMEA / 13 NA / 1 LatAm).
+_EG3_APAC = ("NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "MNL",
+             "CGK", "BOM", "DEL", "SYD", "MEL")
+_EG3_EMEA = ("LHR", "AMS", "CDG", "FRA", "MXP", "MAD", "VIE", "WAW", "ARN",
+             "CPH", "IST", "TLV", "JNB", "CAI", "ZRH")
+_EG3_NA = ("JFK", "IAD", "ATL", "MIA", "ORD", "DFW", "DEN", "LAX", "SJC",
+           "SEA", "YYZ", "YUL", "YVR")
+_EG3_LATAM = ("GRU",)
+
+#: Sites serving Edgio-4 customers (47: 15 APAC / 16 EMEA / 12 NA / 4 LatAm).
+_EG4_APAC = _EG3_APAC + ("SGN",)
+_EG4_EMEA = _EG3_EMEA + ("DUB",)
+_EG4_NA = ("JFK", "IAD", "ATL", "MIA", "ORD", "DFW", "DEN", "LAX", "SJC",
+           "SEA", "YYZ", "YVR")
+_EG4_LATAM = ("GRU", "EZE", "SCL", "BOG")
+
+#: The Edgio-4 cross-region site: Florida announces both NA and SA
+#: prefixes so it "can serve both clients in North America and in South
+#: America" (§4.4).
+EG4_MIXED_SITE = "MIA"
+
+
+def _edgio3_region_map() -> RegionMap:
+    mapping: dict[str, str] = {}
+    for country in iter_countries():
+        area = area_of_country(country)
+        if area in (Area.NA, Area.LATAM):
+            mapping[country] = "AMERICAS"
+        elif area is Area.EMEA:
+            mapping[country] = "EMEA"
+        else:
+            mapping[country] = "APAC"
+    return RegionMap(region_of_country=mapping, default_region="EMEA")
+
+
+def _edgio4_region_map() -> RegionMap:
+    mapping: dict[str, str] = {}
+    for country in iter_countries():
+        area = area_of_country(country)
+        if area is Area.NA:
+            mapping[country] = "NA"
+        elif area is Area.LATAM:
+            mapping[country] = "SA"
+        elif area is Area.EMEA:
+            mapping[country] = "EMEA"
+        else:
+            mapping[country] = "APAC"
+    return RegionMap(region_of_country=mapping, default_region="EMEA")
+
+
+@dataclass
+class EdgioModel:
+    """The deployed Edgio network and its two measured configurations."""
+
+    network: AnycastNetwork
+    eg3: RegionalDeployment
+    eg4: RegionalDeployment
+    published_cities: list[City]
+
+
+def build_edgio(topology: Topology, seed: int = 0) -> EdgioModel:
+    """Deploy the Edgio model onto a topology."""
+    atlas: WorldAtlas = topology.atlas  # type: ignore[attr-defined]
+    network = AnycastNetwork("edgio", asn=EDGIO_ASN, topology=topology, seed=seed)
+    attachment = SiteAttachment(num_providers=3, public_peer_prob=0.5, remote_provider_prob=0.25)
+    deployed = sorted(
+        set(_EG3_APAC + _EG3_EMEA + _EG3_NA + _EG3_LATAM
+            + _EG4_APAC + _EG4_EMEA + _EG4_NA + _EG4_LATAM)
+    )
+    for iata in deployed:
+        network.add_site(iata, attachment=attachment)
+    published = [atlas.get(iata) for iata in EDGIO_PUBLISHED]
+    eg3 = RegionalDeployment(
+        name="Edgio-3",
+        network=network,
+        regions={
+            "AMERICAS": list(_EG3_NA + _EG3_LATAM),
+            "EMEA": list(_EG3_EMEA),
+            "APAC": list(_EG3_APAC),
+        },
+        region_map=_edgio3_region_map(),
+        published_cities=published,
+    )
+    eg4 = RegionalDeployment(
+        name="Edgio-4",
+        network=network,
+        regions={
+            "NA": list(_EG4_NA),
+            "SA": list(_EG4_LATAM) + [EG4_MIXED_SITE],
+            "EMEA": list(_EG4_EMEA),
+            "APAC": list(_EG4_APAC),
+        },
+        region_map=_edgio4_region_map(),
+        published_cities=published,
+    )
+    return EdgioModel(network=network, eg3=eg3, eg4=eg4, published_cities=published)

@@ -1,0 +1,168 @@
+"""The Imperva (formerly Incapsula) regional anycast model.
+
+Facts reproduced from the paper:
+
+- Imperva publishes 50 PoPs (Table 1's IM-Pub: 17 APAC, 15 EMEA, 12 NA,
+  6 LatAm); the measured CDN (**Imperva-6**) exposes 48 of them, and the
+  authoritative DNS network (**Imperva-NS**, global anycast) exposes 49,
+  all overlapping the CDN's sites (§4.4);
+- Imperva-6 partitions clients into **six regions**: the US and Canada
+  are split, Latin America, EMEA, Russia, and APAC (Fig. 2c);
+- the **Russia region has no Russian sites** — its prefix is announced
+  by three European sites (Amsterdam, Frankfurt, London) that also
+  announce the EMEA prefix (§4.4, §5.1);
+- a **California site cross-announces the APAC prefix**, one of the two
+  identified causes of 100+ ms tails (§5.2);
+- per-prefix peering is *not identical* at every site, which is why §5.3
+  filters the comparison to overlapping sites and peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anycast.network import AnycastNetwork, SiteAttachment
+from repro.cdn.deployment import GlobalDeployment, RegionalDeployment
+from repro.dnssim.service import RegionMap
+from repro.geo.areas import Area, area_of_country
+from repro.geo.atlas import City, WorldAtlas
+from repro.geo.countries import iter_countries
+from repro.topology.graph import Topology
+
+IMPERVA_ASN = 19551
+
+#: Published PoP list (50 metros: 17 APAC / 15 EMEA / 12 NA / 6 LatAm).
+IMPERVA_PUBLISHED: tuple[str, ...] = (
+    # APAC (17)
+    "NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "MNL", "CGK",
+    "SGN", "BOM", "DEL", "MAA", "SYD", "MEL", "AKL",
+    # EMEA (15)
+    "LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "ZRH", "VIE", "WAW", "ARN",
+    "CPH", "IST", "TLV", "JNB", "CAI",
+    # NA (12)
+    "IAD", "JFK", "ATL", "MIA", "ORD", "DFW", "DEN", "LAX", "SJC", "SEA",
+    "YYZ", "YVR",
+    # LatAm (6)
+    "GRU", "EZE", "SCL", "BOG", "MEX", "LIM",
+)
+
+#: Published but never observed in either network (Table 1: IM-Pub 50 vs
+#: IM-NS 49 / IM-6 48).
+_NEVER_DEPLOYED = ("LIM",)
+#: Deployed in the DNS network only (IM-NS has one more APAC site).
+_NS_ONLY = ("AKL",)
+
+_US_SITES = ("IAD", "JFK", "ATL", "MIA", "ORD", "DFW", "DEN", "LAX", "SJC", "SEA")
+_CA_SITES = ("YYZ", "YVR")
+_LATAM_SITES = ("GRU", "EZE", "SCL", "BOG", "MEX")
+_EMEA_SITES = ("LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "ZRH", "VIE", "WAW",
+               "ARN", "CPH", "IST", "TLV", "JNB", "CAI")
+_APAC_SITES = ("NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "MNL",
+               "CGK", "SGN", "BOM", "DEL", "MAA", "SYD", "MEL")
+
+#: The Russia region's prefix originates from three European sites that
+#: also announce EMEA ("Amsterdam, Frankfurt, and London", §4.4).
+RU_SERVING_SITES = ("AMS", "FRA", "LHR")
+#: The Californian cross-region announcer for APAC (§5.2).
+APAC_MIXED_SITE = "SJC"
+
+
+def _imperva_region_map() -> RegionMap:
+    mapping: dict[str, str] = {}
+    for country in iter_countries():
+        if country == "US":
+            mapping[country] = "US"
+        elif country == "CA":
+            mapping[country] = "CA"
+        elif country == "RU":
+            mapping[country] = "RU"
+        else:
+            area = area_of_country(country)
+            if area is Area.LATAM:
+                mapping[country] = "LATAM"
+            elif area is Area.EMEA:
+                mapping[country] = "EMEA"
+            else:
+                mapping[country] = "APAC"
+    return RegionMap(region_of_country=mapping, default_region="EMEA")
+
+
+@dataclass
+class ImpervaModel:
+    """The deployed Imperva network and its two measured configurations."""
+
+    network: AnycastNetwork
+    im6: RegionalDeployment
+    ns: GlobalDeployment
+    published_cities: list[City]
+
+
+def _overlap_restrictions(
+    network: AnycastNetwork, site_names: list[str]
+) -> tuple[dict[str, frozenset[int]], dict[str, frozenset[int]]]:
+    """Per-site neighbor restrictions for the CDN and the DNS network.
+
+    Imperva "may announce its regional CDN IP anycast prefixes and its
+    global DNS IP anycast prefixes to different peers" (§5.3).  At every
+    third site with enough peers we drop one peer from the CDN
+    announcements, and at a staggered set of sites a different peer from
+    the DNS announcements, creating the non-overlapping-peer population
+    §5.3's filter removes.
+    """
+    cdn: dict[str, frozenset[int]] = {}
+    dns: dict[str, frozenset[int]] = {}
+    for idx, name in enumerate(sorted(site_names)):
+        site = network.site(name)
+        peers = sorted(site.public_peer_ids + site.route_server_peer_ids)
+        if len(peers) < 2:
+            continue
+        if idx % 3 == 0:
+            cdn[name] = site.neighbor_ids - {peers[-1]}
+        elif idx % 3 == 1:
+            dns[name] = site.neighbor_ids - {peers[0]}
+    return cdn, dns
+
+
+def build_imperva(topology: Topology, seed: int = 0) -> ImpervaModel:
+    """Deploy the Imperva model onto a topology."""
+    atlas: WorldAtlas = topology.atlas  # type: ignore[attr-defined]
+    network = AnycastNetwork("imperva", asn=IMPERVA_ASN, topology=topology, seed=seed)
+    attachment = SiteAttachment(num_providers=3, public_peer_prob=0.5, remote_provider_prob=0.25)
+    deployed = sorted(set(IMPERVA_PUBLISHED) - set(_NEVER_DEPLOYED))
+    for iata in deployed:
+        network.add_site(iata, attachment=attachment)
+    published = [atlas.get(iata) for iata in IMPERVA_PUBLISHED]
+
+    cdn_sites = sorted(set(deployed) - set(_NS_ONLY))
+    cdn_restrict, dns_restrict = _overlap_restrictions(network, cdn_sites)
+    regions = {
+        "US": list(_US_SITES),
+        "CA": list(_CA_SITES),
+        "LATAM": list(_LATAM_SITES),
+        "EMEA": list(_EMEA_SITES),
+        "RU": list(RU_SERVING_SITES),
+        "APAC": list(_APAC_SITES) + [APAC_MIXED_SITE],
+    }
+    im6 = RegionalDeployment(
+        name="Imperva-6",
+        network=network,
+        regions=regions,
+        region_map=_imperva_region_map(),
+        published_cities=published,
+        neighbor_restriction={
+            region: {
+                name: restriction
+                for name, restriction in cdn_restrict.items()
+                if name in site_names
+            }
+            for region, site_names in regions.items()
+        },
+    )
+    ns = GlobalDeployment(
+        name="Imperva-NS",
+        network=network,
+        site_names=list(deployed),
+        published_cities=published,
+        neighbor_restriction=dns_restrict,
+    )
+    return ImpervaModel(network=network, im6=im6, ns=ns, published_cities=published)

@@ -1,0 +1,263 @@
+"""The CDN discovery pipeline of §4.1–4.2 and Appendix A.
+
+The paper finds its two study subjects by:
+
+1. taking the Tranco top-10k apex domains;
+2. identifying each website's CDN provider(s) with CDNFinder (which reads
+   the landing page's resource hostnames);
+3. ranking providers by hostnames served, keeping the top 15 (these cover
+   65.7% of the top-10k), and reading their technical documentation to
+   classify the redirection method (Appendix A, Table 5);
+4. resolving every Edgio/Imperva hostname from a worldwide emulated
+   clientele (Google DNS + ECS over all RIPE Atlas /24s) and grouping
+   hostnames by the number of distinct A records: Edgio-3 (3 addresses),
+   Edgio-4 (4), Imperva-6 (6); other counts indicate non-regional
+   platforms and are excluded.
+
+We reproduce the pipeline over a synthetic Tranco-like population whose
+aggregate statistics match the paper's, and run the real ECS
+classification against the simulated deployments' DNS.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.dnssim.service import GeoMappingService
+from repro.netaddr.ipv4 import IPv4Prefix
+
+#: Appendix A, Table 5: the top-15 CDN providers and the redirection
+#: method their technical documentation describes.
+TOP_CDN_REDIRECTION: tuple[tuple[str, str], ...] = (
+    ("Cloudflare", "Global Anycast"),
+    ("Amazon Cloudfront", "DNS"),
+    ("Akamai", "DNS"),
+    ("Fastly", "DNS & Global Anycast"),
+    ("Google Cloud CDN", "Global Anycast"),
+    ("Edgio (EdgeCast)", "Regional Anycast"),
+    ("Stackpath", "Global Anycast"),
+    ("bunny.net", "DNS"),
+    ("Alibaba Cloud", "DNS"),
+    ("Imperva (Incapsula)", "Regional Anycast"),
+    ("Microsoft Azure", "Global Anycast"),
+    ("ChinanetCenter/Wangsu", "DNS"),
+    ("CDN77", "DNS"),
+    ("Tencent Cloud", "DNS"),
+    ("Vercel", "DNS"),
+)
+
+#: Relative popularity used when assigning providers to synthetic domains
+#: (share of hostnames among top-15-provider-served hostnames).
+_PROVIDER_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("Cloudflare", 0.315),
+    ("Amazon Cloudfront", 0.180),
+    ("Akamai", 0.130),
+    ("Fastly", 0.095),
+    ("Google Cloud CDN", 0.075),
+    ("Edgio (EdgeCast)", 0.032),
+    ("Stackpath", 0.030),
+    ("bunny.net", 0.025),
+    ("Alibaba Cloud", 0.022),
+    ("Imperva (Incapsula)", 0.014),
+    ("Microsoft Azure", 0.022),
+    ("ChinanetCenter/Wangsu", 0.018),
+    ("CDN77", 0.015),
+    ("Tencent Cloud", 0.014),
+    ("Vercel", 0.013),
+)
+
+EDGIO = "Edgio (EdgeCast)"
+IMPERVA = "Imperva (Incapsula)"
+
+
+@dataclass(frozen=True)
+class SurveyHostname:
+    """One hostname CDNFinder attributes to a provider."""
+
+    hostname: str
+    provider: str
+    #: Which platform of the provider actually serves it: a regional
+    #: anycast platform ("regional-3" / "regional-4" / "regional-6"), a
+    #: single-address service, or a per-site (DNS-redirection) platform.
+    platform: str
+
+
+@dataclass
+class SurveyParams:
+    """Population statistics matching the paper's measured values."""
+
+    seed: int = 1
+    num_domains: int = 10_000
+    #: Fraction of top-10k domains served by a top-15 provider (§4.1).
+    top15_coverage: float = 0.657
+    #: Websites using Edgio / Imperva (§4.2: 2.98% combined, 209 + 89).
+    edgio_websites: int = 209
+    imperva_websites: int = 89
+    #: Distinct hostnames extracted from those websites (§4.2).
+    edgio_hostnames: int = 96
+    imperva_hostnames: int = 91
+    #: Platform mix of those hostnames (§4.2: 50/96 Edgio-3, 34/96
+    #: Edgio-4, 78/91 Imperva-6; the rest are other platforms).
+    edgio3_hostnames: int = 50
+    edgio4_hostnames: int = 34
+    imperva6_hostnames: int = 78
+
+
+@dataclass(frozen=True)
+class HostnameSets:
+    """The §4.2 classification outcome."""
+
+    edgio3: tuple[str, ...]
+    edgio4: tuple[str, ...]
+    imperva6: tuple[str, ...]
+    excluded: tuple[str, ...]
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "Edgio-3": len(self.edgio3),
+            "Edgio-4": len(self.edgio4),
+            "Imperva-6": len(self.imperva6),
+            "excluded": len(self.excluded),
+        }
+
+
+class CdnSurvey:
+    """Generates the synthetic top list and runs the discovery pipeline."""
+
+    def __init__(self, params: SurveyParams | None = None):
+        self.params = params or SurveyParams()
+        self._rng = random.Random(self.params.seed)
+        self.domains: list[tuple[str, str | None]] = []
+        self.hostnames: list[SurveyHostname] = []
+        self._generate()
+
+    # ------------------------------------------------------------------
+    def _generate(self) -> None:
+        p = self.params
+        providers = [name for name, _ in _PROVIDER_WEIGHTS]
+        weights = [w for _, w in _PROVIDER_WEIGHTS]
+        covered = int(p.num_domains * p.top15_coverage)
+        # Pin the Edgio/Imperva website counts exactly; fill the rest by
+        # weighted sampling over the other providers.
+        other_providers = [x for x in providers if x not in (EDGIO, IMPERVA)]
+        other_weights = [w for name, w in _PROVIDER_WEIGHTS
+                         if name not in (EDGIO, IMPERVA)]
+        assignments: list[str | None] = (
+            [EDGIO] * p.edgio_websites + [IMPERVA] * p.imperva_websites
+        )
+        remaining = covered - len(assignments)
+        assignments += self._rng.choices(other_providers, other_weights, k=remaining)
+        assignments += [None] * (p.num_domains - covered)
+        self._rng.shuffle(assignments)
+        self.domains = [
+            (f"site{i:05d}.example", provider)
+            for i, provider in enumerate(assignments)
+        ]
+        self.hostnames = (
+            self._provider_hostnames(EDGIO, p.edgio_hostnames,
+                                     {"regional-3": p.edgio3_hostnames,
+                                      "regional-4": p.edgio4_hostnames})
+            + self._provider_hostnames(IMPERVA, p.imperva_hostnames,
+                                       {"regional-6": p.imperva6_hostnames})
+        )
+
+    def _provider_hostnames(
+        self, provider: str, total: int, regional: dict[str, int]
+    ) -> list[SurveyHostname]:
+        platforms: list[str] = []
+        for platform, count in regional.items():
+            platforms += [platform] * count
+        leftovers = total - len(platforms)
+        # Non-regional platforms split between single-address services and
+        # per-site DNS redirection, as observed in §4.2.
+        platforms += ["single"] * (leftovers // 2)
+        platforms += ["persite"] * (leftovers - leftovers // 2)
+        self._rng.shuffle(platforms)
+        slug = "edgio" if provider == EDGIO else "imperva"
+        return [
+            SurveyHostname(
+                hostname=f"www.customer{i:03d}-{slug}.example",
+                provider=provider,
+                platform=platform,
+            )
+            for i, platform in enumerate(platforms)
+        ]
+
+    # ------------------------------------------------------------------
+    def provider_ranking(self) -> list[tuple[str, int]]:
+        """Providers ranked by websites served (the §4.1 top-15 input)."""
+        counts: Counter = Counter(
+            provider for _, provider in self.domains if provider is not None
+        )
+        return counts.most_common()
+
+    def coverage(self) -> float:
+        """Fraction of domains served by a top-15 provider."""
+        served = sum(1 for _, provider in self.domains if provider is not None)
+        return served / max(1, len(self.domains))
+
+    def regional_share(self) -> float:
+        """Fraction of domains on Edgio or Imperva (paper: 2.98%)."""
+        count = sum(
+            1 for _, provider in self.domains if provider in (EDGIO, IMPERVA)
+        )
+        return count / max(1, len(self.domains))
+
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        client_subnets: list[IPv4Prefix],
+        services: dict[str, GeoMappingService],
+    ) -> HostnameSets:
+        """The §4.2 ECS-resolution classification.
+
+        ``services`` maps platform name → the deployment's DNS service.
+        Each candidate hostname is resolved from every client subnet; a
+        hostname joins a set when its distinct answers exactly match a
+        regional platform's address set.
+        """
+        if not client_subnets:
+            raise ValueError("classification needs client subnets to emulate")
+        # Pre-compute each platform's answers per subnet once — every
+        # hostname on a platform shares the platform's mapping.
+        answers_by_platform: dict[str, frozenset] = {}
+        for platform, service in services.items():
+            answers = {service.answer_for_source(subnet) for subnet in client_subnets}
+            answers_by_platform[platform] = frozenset(answers)
+        expected = {
+            platform: frozenset(service.regional_addresses())
+            for platform, service in services.items()
+        }
+        eg3: list[str] = []
+        eg4: list[str] = []
+        im6: list[str] = []
+        excluded: list[str] = []
+        for entry in self.hostnames:
+            observed = answers_by_platform.get(entry.platform)
+            if observed is None:
+                # Single-address or per-site platforms resolve to counts
+                # that match neither 3, 4, nor 6 regional addresses.
+                excluded.append(entry.hostname)
+                continue
+            if entry.platform == "regional-3" and observed == expected["regional-3"]:
+                eg3.append(entry.hostname)
+            elif entry.platform == "regional-4" and observed == expected["regional-4"]:
+                eg4.append(entry.hostname)
+            elif entry.platform == "regional-6" and observed == expected["regional-6"]:
+                im6.append(entry.hostname)
+            else:
+                excluded.append(entry.hostname)
+        return HostnameSets(
+            edgio3=tuple(eg3),
+            edgio4=tuple(eg4),
+            imperva6=tuple(im6),
+            excluded=tuple(excluded),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def redirection_table() -> list[tuple[str, str]]:
+        """Appendix A's Table 5 rows."""
+        return list(TOP_CDN_REDIRECTION)

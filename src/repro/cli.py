@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``world``  — build a world and print its structural summary;
+- ``list``   — list the available experiments;
+- ``run``    — run experiments (all by default), optionally exporting
+  structured results to JSON;
+- ``demo``   — run a micro-case (fig1 / fig7) standalone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import config
+from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.experiments.world import World, get_world
+
+
+def _config_from_args(args: argparse.Namespace):
+    return config.SMALL if getattr(args, "small", False) else config.DEFAULT
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.topology.stats import summarize
+
+    cfg = _config_from_args(args)
+    start = time.perf_counter()
+    world = World(cfg)
+    elapsed = time.perf_counter() - start
+    print(f"world '{cfg.name}' built in {elapsed:.2f}s")
+    print(summarize(world.topology).as_text())
+    print(
+        f"probes: {len(world.probes.all_probes())} total, "
+        f"{len(world.usable_probes)} usable, {len(world.groups)} groups"
+    )
+    print(
+        "deployments: Edgio (3- and 4-region), Imperva-6, Imperva-NS, "
+        "Tangled (12 sites)"
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for module, description in ALL_EXPERIMENTS:
+        name = module.__name__.rsplit(".", 1)[-1]
+        print(f"{name:18} {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = _config_from_args(args)
+    wanted = set(args.experiments)
+    selected = [
+        (module, description)
+        for module, description in ALL_EXPERIMENTS
+        if not wanted or module.__name__.rsplit(".", 1)[-1] in wanted
+    ]
+    if wanted:
+        known = {m.__name__.rsplit(".", 1)[-1] for m, _ in ALL_EXPERIMENTS}
+        unknown = wanted - known
+        if unknown:
+            print(f"unknown experiments: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            print(f"available: {', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+    world = get_world(cfg)
+    results = []
+    for module, description in selected:
+        start = time.perf_counter()
+        result = module.run(world)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.render())
+        if args.plots and hasattr(result, "render_plot"):
+            print(result.render_plot())
+        print(f"[{description}: {elapsed:.2f}s]\n")
+    if args.json:
+        from repro.experiments.export import export_results
+
+        export_results(results, args.json)
+        print(f"structured results written to {args.json}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import render_scorecard, verify_claims
+
+    world = get_world(_config_from_args(args))
+    outcomes = verify_claims(world)
+    print(render_scorecard(outcomes))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Generate a markdown report: scorecard + every experiment render."""
+    from repro.experiments.claims import render_scorecard, verify_claims
+    from repro.experiments.runner import ALL_EXPERIMENTS
+
+    cfg = _config_from_args(args)
+    world = get_world(cfg)
+    outcomes = verify_claims(world)
+    sections = [
+        "# Reproduction report",
+        "",
+        f"World: `{cfg.name}` — {world.topology.num_nodes} nodes, "
+        f"{world.topology.num_links} links, "
+        f"{len(world.usable_probes)} usable probes, "
+        f"{len(world.groups)} probe groups.",
+        "",
+        "```",
+        render_scorecard(outcomes),
+        "```",
+    ]
+    for module, description in ALL_EXPERIMENTS:
+        result = module.run(world)
+        sections += ["", f"## {description}", "", "```",
+                     result.render(), "```"]
+    text = "\n".join(sections) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
+def _cmd_lg(args: argparse.Namespace) -> int:
+    """Looking glass: one AS's routes for a deployment's prefixes."""
+    from repro.routing.inspect import show_route, summarize_catchment
+
+    world = get_world(_config_from_args(args))
+    deployments = {
+        "im6": world.imperva.im6,
+        "ns": world.imperva.ns,
+        "eg3": world.edgio.eg3,
+        "eg4": world.edgio.eg4,
+        "tangled": world.tangled.global_deployment,
+    }
+    target = deployments[args.deployment]
+    if hasattr(target, "regional_addresses"):
+        addrs = target.regional_addresses()
+    else:
+        addrs = [target.address]
+    for addr in addrs:
+        table = world.engine.table_for(addr)
+        if args.asn is not None:
+            node = next(
+                (n for n in world.topology.nodes() if n.asn == args.asn
+                 and not n.is_site),
+                None,
+            )
+            if node is None:
+                print(f"unknown ASN {args.asn}", file=sys.stderr)
+                return 2
+            print(show_route(world.topology, table, node.node_id))
+        else:
+            print(summarize_catchment(world.topology, table)
+                  .render(world.topology))
+        print()
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.experiments import fig1, fig7
+
+    module = fig1 if args.case == "fig1" else fig7
+    print(module.run().render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regional IP anycast reproduction (SIGCOMM 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_world = sub.add_parser("world", help="build and summarise a world")
+    p_world.add_argument("--small", action="store_true",
+                         help="use the reduced test-scale world")
+    p_world.set_defaults(func=_cmd_world)
+
+    p_list = sub.add_parser("list", help="list available experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run experiments (all by default)")
+    p_run.add_argument("experiments", nargs="*",
+                       help="experiment names (e.g. table3 fig6); empty = all")
+    p_run.add_argument("--small", action="store_true",
+                       help="use the reduced test-scale world")
+    p_run.add_argument("--json", metavar="FILE",
+                       help="export structured results to FILE")
+    p_run.add_argument("--plots", action="store_true",
+                       help="also render ASCII CDF plots where available")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="generate a markdown report (scorecard + experiments)")
+    p_report.add_argument("--small", action="store_true")
+    p_report.add_argument("--out", metavar="FILE",
+                          help="write to FILE instead of stdout")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_lg = sub.add_parser(
+        "lg", help="looking glass: catchments or one AS's routes")
+    p_lg.add_argument("deployment",
+                      choices=["im6", "ns", "eg3", "eg4", "tangled"])
+    p_lg.add_argument("--asn", type=int,
+                      help="show this AS's routes instead of the summary")
+    p_lg.add_argument("--small", action="store_true")
+    p_lg.set_defaults(func=_cmd_lg)
+
+    p_verify = sub.add_parser(
+        "verify", help="check every paper claim against a fresh world")
+    p_verify.add_argument("--small", action="store_true",
+                          help="use the reduced test-scale world")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_demo = sub.add_parser("demo", help="run a micro-case standalone")
+    p_demo.add_argument("case", choices=["fig1", "fig7"])
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""DNS redirection: geo-mapping authoritative servers and resolvers.
+
+Regional anycast is "IP anycast + DNS redirection" (§8): the CDN's
+authoritative DNS hands each client the regional anycast address intended
+for the client's location.  This package models the whole resolution path
+the paper measures:
+
+- :mod:`repro.dnssim.service` — geo-mapping authoritative services: a
+  hostname, a country→region mapping, a region→address table, and the
+  geolocation database the operator consults.  Mapping errors (×Region in
+  Table 2) emerge from that database's error model, not from hand-coded
+  outcomes.
+- :mod:`repro.dnssim.resolver` — per-probe resolver assignment: ISP
+  resolvers (usually same country, usually without ECS) and public
+  resolvers (possibly another country, with ECS), driving the paper's
+  LDNS vs ADNS comparison (§5.1).
+- :mod:`repro.dnssim.route53` — a Route-53-style country-geolocation
+  policy resolver with default records, used by ReOpt (§6.2).
+"""
+
+from repro.dnssim.resolver import DnsMode, ResolverPool, ResolverProfile
+from repro.dnssim.route53 import GeoPolicyZone
+from repro.dnssim.service import GeoMappingService, RegionMap
+
+__all__ = [
+    "DnsMode",
+    "GeoMappingService",
+    "GeoPolicyZone",
+    "RegionMap",
+    "ResolverPool",
+    "ResolverProfile",
+]

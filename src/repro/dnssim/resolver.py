@@ -1,0 +1,122 @@
+"""Recursive-resolver assignment and the LDNS / ADNS query paths.
+
+Whether the authoritative server sees the *client* or the client's
+*resolver* determines DNS mapping quality (§5.1).  The paper runs every
+experiment twice:
+
+- **LDNS** — probes use their configured local resolver; the authoritative
+  sees the resolver's address unless the resolver adds an EDNS Client
+  Subnet (ECS) option;
+- **ADNS** — probes query the CDN's authoritative servers directly, so
+  the authoritative sees the probe's own address.
+
+The pool assigns each probe either its ISP's resolver (same network, no
+ECS by default) or a public resolver (anycast service hosted elsewhere,
+ECS-enabled, like Google DNS) — the mix that makes LDNS results slightly
+different from ADNS in Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+from repro.dnssim.service import GeoMappingService
+from repro.measurement.probes import Probe, ProbePopulation
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+
+class DnsMode(enum.Enum):
+    """Which server the probe's query ultimately exposes it to."""
+
+    LDNS = "local-dns"
+    ADNS = "authoritative-dns"
+
+
+@dataclass(frozen=True)
+class ResolverProfile:
+    """The recursive resolver one probe uses."""
+
+    addr: IPv4Address
+    ecs_enabled: bool
+    is_public: bool
+
+
+@dataclass(frozen=True)
+class ResolverParams:
+    """Knobs of the resolver ecosystem."""
+
+    #: Fraction of probes using a public (ECS-enabled) resolver.
+    public_resolver_fraction: float = 0.22
+    #: Fraction of ISP resolvers that forward ECS.
+    isp_ecs_fraction: float = 0.15
+
+
+class ResolverPool:
+    """Per-probe resolver assignment, deterministic per seed."""
+
+    def __init__(
+        self,
+        probes: ProbePopulation,
+        params: ResolverParams | None = None,
+        seed: int = 0,
+    ):
+        self.params = params or ResolverParams()
+        self._probes = probes
+        self._seed = seed
+        self._profiles: dict[int, ResolverProfile] = {}
+        self._public_addrs = self._pick_public_addrs()
+
+    def _pick_public_addrs(self) -> list[IPv4Address]:
+        """Addresses of public resolver clusters.
+
+        Public resolvers are served out of a handful of host networks; a
+        CDN geolocating the resolver address sees the cluster's location,
+        not the client's — the classic public-resolver mapping hazard.
+        """
+        prefixes = sorted(
+            self._probes.host_prefixes().items(), key=lambda kv: kv[0]
+        )
+        if not prefixes:
+            raise ValueError("probe population has no host prefixes")
+        step = max(1, len(prefixes) // 4)
+        clusters = prefixes[::step][:4]
+        return [prefix.address(prefix.num_addresses - 3) for _, prefix in clusters]
+
+    def _hash01(self, *parts: object) -> float:
+        digest = hashlib.sha256(
+            "|".join(str(p) for p in ("resolver", self._seed, *parts)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def profile_for(self, probe: Probe) -> ResolverProfile:
+        profile = self._profiles.get(probe.probe_id)
+        if profile is not None:
+            return profile
+        if self._hash01("public", probe.probe_id) < self.params.public_resolver_fraction:
+            idx = int(self._hash01("cluster", probe.probe_id) * len(self._public_addrs))
+            addr = self._public_addrs[min(idx, len(self._public_addrs) - 1)]
+            profile = ResolverProfile(addr=addr, ecs_enabled=True, is_public=True)
+        else:
+            addr = self._probes.reserve_resolver_addr(probe.as_node)
+            ecs = self._hash01("isp-ecs", probe.as_node) < self.params.isp_ecs_fraction
+            profile = ResolverProfile(addr=addr, ecs_enabled=ecs, is_public=False)
+        self._profiles[probe.probe_id] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    def query_source(self, probe: Probe, mode: DnsMode) -> IPv4Address | IPv4Prefix:
+        """What the authoritative server sees for a probe's query."""
+        if mode is DnsMode.ADNS:
+            return probe.addr
+        profile = self.profile_for(probe)
+        if profile.ecs_enabled:
+            return probe.client_subnet
+        return profile.addr
+
+    def resolve(
+        self, service: GeoMappingService, probe: Probe, mode: DnsMode
+    ) -> IPv4Address:
+        """Resolve a geo-mapped hostname from a probe's vantage point."""
+        return service.answer_for_source(self.query_source(probe, mode))

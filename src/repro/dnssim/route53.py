@@ -1,0 +1,74 @@
+"""A Route-53-style geolocation policy zone.
+
+§6.2 delegates a test domain to Amazon Route 53 and configures its
+*geolocation records*: per-country answers plus a default record.  The
+class below reproduces that configuration surface — records are keyed by
+country (or continent), lookups geolocate the query source with the DNS
+provider's own database, and a default record catches everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.countries import Continent, continent_of, is_country
+from repro.geoloc.database import GeoDatabase
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+
+@dataclass
+class GeoPolicyZone:
+    """One hostname with Route-53-like geolocation records."""
+
+    hostname: str
+    geodb: GeoDatabase
+    default_record: IPv4Address
+    country_records: dict[str, IPv4Address] = field(default_factory=dict)
+    continent_records: dict[Continent, IPv4Address] = field(default_factory=dict)
+
+    def set_country_record(self, country: str, addr: IPv4Address) -> None:
+        """Configure a per-country answer (Route 53 'location: country')."""
+        if not is_country(country):
+            raise ValueError(f"unknown country code: {country!r}")
+        self.country_records[country] = addr
+
+    def set_continent_record(self, continent: Continent, addr: IPv4Address) -> None:
+        """Configure a per-continent answer (Route 53 'location: continent')."""
+        self.continent_records[continent] = addr
+
+    def answer_for_source(self, source: IPv4Address | IPv4Prefix) -> IPv4Address:
+        """Resolution: country record, then continent record, then default.
+
+        This is Route 53's documented precedence for geolocation routing.
+        """
+        if isinstance(source, IPv4Prefix):
+            record = self.geodb.lookup_subnet(source)
+        else:
+            record = self.geodb.lookup(source)
+        if record is None:
+            return self.default_record
+        by_country = self.country_records.get(record.country)
+        if by_country is not None:
+            return by_country
+        try:
+            continent = continent_of(record.country)
+        except KeyError:
+            return self.default_record
+        by_continent = self.continent_records.get(continent)
+        if by_continent is not None:
+            return by_continent
+        return self.default_record
+
+    @classmethod
+    def from_country_mapping(
+        cls,
+        hostname: str,
+        geodb: GeoDatabase,
+        mapping: dict[str, IPv4Address],
+        default: IPv4Address,
+    ) -> "GeoPolicyZone":
+        """Build a zone from a full country→address mapping (ReOpt's output)."""
+        zone = cls(hostname=hostname, geodb=geodb, default_record=default)
+        for country, addr in mapping.items():
+            zone.set_country_record(country, addr)
+        return zone

@@ -1,0 +1,104 @@
+"""Geo-mapping authoritative DNS services."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geoloc.database import GeoDatabase
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """A CDN's country→region mapping with a default region.
+
+    The mapping is the operator's *intent*: which regional prefix clients
+    of each country should receive (§4.3 finds intent follows continent or
+    country borders).  What clients actually receive also depends on the
+    operator's geolocation database being right about the client.
+    """
+
+    region_of_country: dict[str, str]
+    default_region: str
+
+    def __post_init__(self) -> None:
+        if self.default_region not in set(self.region_of_country.values()):
+            # A default may be a region with no dedicated countries, which
+            # is legal, but an empty mapping is surely a mistake.
+            if not self.region_of_country:
+                raise ValueError("region map has no countries")
+
+    def region_for(self, country: str | None) -> str:
+        if country is None:
+            return self.default_region
+        return self.region_of_country.get(country, self.default_region)
+
+    def regions(self) -> list[str]:
+        found = sorted(set(self.region_of_country.values()))
+        if self.default_region not in found:
+            found.append(self.default_region)
+        return found
+
+    def countries_of(self, region: str) -> list[str]:
+        return sorted(
+            c for c, r in self.region_of_country.items() if r == region
+        )
+
+
+@dataclass
+class GeoMappingService:
+    """One customer hostname served via regional anycast.
+
+    ``answer_for_source`` is what the CDN's authoritative name server does
+    when a query arrives: geolocate the *source* it can see (the client's
+    address when queried directly or via ECS, otherwise the recursive
+    resolver's address), map the country to a region, return the region's
+    anycast address.
+    """
+
+    hostname: str
+    region_map: RegionMap
+    addresses: dict[str, IPv4Address]
+    geodb: GeoDatabase
+
+    def __post_init__(self) -> None:
+        missing = [r for r in self.region_map.regions() if r not in self.addresses]
+        if missing:
+            raise ValueError(
+                f"{self.hostname}: regions without an address: {missing}"
+            )
+
+    def regional_addresses(self) -> list[IPv4Address]:
+        """All distinct regional addresses, in stable region order."""
+        seen: dict[IPv4Address, None] = {}
+        for region in sorted(self.addresses):
+            seen.setdefault(self.addresses[region], None)
+        return list(seen)
+
+    def address_of_region(self, region: str) -> IPv4Address:
+        try:
+            return self.addresses[region]
+        except KeyError:
+            raise KeyError(f"{self.hostname} has no region {region!r}") from None
+
+    def region_of_address(self, addr: IPv4Address) -> list[str]:
+        """Regions served by an address (several when regions share one)."""
+        return sorted(r for r, a in self.addresses.items() if a == addr)
+
+    # ------------------------------------------------------------------
+    def mapped_country(self, source: IPv4Address | IPv4Prefix) -> str | None:
+        """The country the operator's database believes the source is in."""
+        if isinstance(source, IPv4Prefix):
+            record = self.geodb.lookup_subnet(source)
+        else:
+            record = self.geodb.lookup(source)
+        return record.country if record is not None else None
+
+    def answer_for_source(self, source: IPv4Address | IPv4Prefix) -> IPv4Address:
+        """The A record returned to a query from ``source``."""
+        region = self.region_map.region_for(self.mapped_country(source))
+        return self.addresses[region]
+
+    def intended_region(self, country: str) -> str:
+        """The region a client of ``country`` is *meant* to receive."""
+        return self.region_map.region_for(country)

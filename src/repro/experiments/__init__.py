@@ -1,0 +1,30 @@
+"""Experiment harnesses: one module per paper table and figure.
+
+Every experiment consumes a shared :class:`repro.experiments.world.World`
+(the simulated Internet with both CDNs, the testbed, probes, DNS, and
+geolocation layers built once) and returns a structured result whose
+``render()`` prints the paper-style table or series.
+
+| Module                       | Reproduces                                   |
+|------------------------------|----------------------------------------------|
+| ``repro.experiments.fig1``   | Fig. 1 catchment-inefficiency micro-case     |
+| ``repro.experiments.fig2``   | Fig. 2 client & site partitions              |
+| ``repro.experiments.fig3``   | Fig. 3 p-hop geolocation technique mix       |
+| ``repro.experiments.fig4``   | Fig. 4 RTT / distance CDFs                   |
+| ``repro.experiments.fig5``   | Fig. 5 regional−global delta CDFs            |
+| ``repro.experiments.fig6``   | Fig. 6 ReOpt partitions & Tangled CDFs       |
+| ``repro.experiments.fig7``   | Fig. 7 peering-type micro-case               |
+| ``repro.experiments.fig8``   | Fig. 8 same-site validation CDFs             |
+| ``repro.experiments.table1`` | Table 1 site counts per area                 |
+| ``repro.experiments.table2`` | Table 2 DNS mapping efficiency               |
+| ``repro.experiments.table3`` | Table 3 tail latency IM-6 vs IM-NS           |
+| ``repro.experiments.table4`` | Table 4 ΔRTT × site-relation cross-tab       |
+| ``repro.experiments.table5`` | Table 5 CDN redirection survey               |
+| ``repro.experiments.table6`` | Table 6 representative vs other hostnames    |
+| ``repro.experiments.sec54``  | §5.4 case-study attribution                  |
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.world import World, get_world
+
+__all__ = ["ExperimentConfig", "World", "get_world"]

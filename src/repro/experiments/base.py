@@ -1,0 +1,33 @@
+"""Shared experiment-result plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+
+class ExperimentResult(Protocol):
+    """Every experiment's result renders to paper-style text."""
+
+    experiment_id: str
+
+    def render(self) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class TextResult:
+    """A generic result: an id, a title, and pre-rendered sections."""
+
+    experiment_id: str
+    title: str
+    sections: list[str] = field(default_factory=list)
+    #: Structured key→value headline numbers for EXPERIMENTS.md.
+    headline: dict[str, object] = field(default_factory=dict)
+
+    def add(self, section: str) -> None:
+        self.sections.append(section)
+
+    def render(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n\n".join([header, *self.sections])

@@ -1,0 +1,35 @@
+"""Shared §5.3 comparison construction (used by fig4c/fig5/table3/table4/fig8).
+
+Builds the overlap-filtered Imperva-6 vs Imperva-NS comparison once per
+world and caches it on the world object.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import RegionalGlobalComparison
+from repro.experiments.world import World
+
+
+def build_comparison(world: World) -> RegionalGlobalComparison:
+    """The filtered IM-6 vs IM-NS comparison (cached per world)."""
+    cached = getattr(world, "_comparison53", None)
+    if cached is not None:
+        return cached
+    regional_obs = world.observations_regional(world.imperva.im6, world.im6_service)
+    global_obs = world.observations_global(world.imperva.ns)
+    # Overlapping sites: enumerated in both networks (§5.3 step 2).
+    regional_sites: set[str] = set()
+    for mapping in world.enumerate_deployment_sites(world.imperva.im6).values():
+        regional_sites.update(c.iata for c in mapping.sites)
+    global_sites = {
+        c.iata for c in world.enumerate_global_sites(world.imperva.ns).sites
+    }
+    overlapping = regional_sites & global_sites
+    comparison = RegionalGlobalComparison.build(
+        probe_groups=world.groups,
+        regional=regional_obs,
+        global_=global_obs,
+        overlapping_sites=overlapping,
+    )
+    world._comparison53 = comparison  # type: ignore[attr-defined]
+    return comparison

@@ -1,0 +1,49 @@
+"""Experiment configuration: scales and seeds.
+
+All experiments are deterministic functions of one
+:class:`ExperimentConfig`.  Two presets are provided:
+
+- :data:`DEFAULT` — the paper-scale world every number in EXPERIMENTS.md
+  comes from;
+- :data:`SMALL` — a reduced world for unit tests and quick benchmark
+  iterations (same structure, fewer stubs and probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.measurement.probes import ProbeParams
+from repro.topology.builder import TopologyParams
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that parameterises a world build."""
+
+    name: str = "default"
+    topology: TopologyParams = field(default_factory=TopologyParams)
+    probes: ProbeParams = field(default_factory=ProbeParams)
+    #: Seeds for the non-topology layers.
+    deployment_seed: int = 101
+    geodb_seed: int = 202
+    rdns_seed: int = 303
+    resolver_seed: int = 404
+    measurement_seed: int = 505
+    survey_seed: int = 606
+
+    def scaled(self, name: str, num_stubs: int, num_probes: int) -> "ExperimentConfig":
+        """A copy with a different world size (same seeds)."""
+        return replace(
+            self,
+            name=name,
+            topology=replace(self.topology, num_stubs=num_stubs),
+            probes=replace(self.probes, num_probes=num_probes),
+        )
+
+
+#: The paper-scale default world.
+DEFAULT = ExperimentConfig()
+
+#: A small world for tests and fast benchmark iteration.
+SMALL = DEFAULT.scaled("small", num_stubs=300, num_probes=900)

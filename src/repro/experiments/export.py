@@ -1,0 +1,87 @@
+"""Structured export of experiment results.
+
+Every experiment returns a dataclass tree of domain objects; this module
+lowers them to JSON-serialisable structures so results can be archived,
+diffed across runs, or plotted by external tooling
+(``python -m repro run --json results.json``).
+
+Lowering rules: dataclasses → dicts, enums → values, CDFs → percentile
+summaries plus a downsampled (value, fraction) series, cities → IATA
+codes, addresses/prefixes → strings, dict keys → strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.geo.atlas import City
+from repro.geo.coords import GeoPoint
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+#: CDFs are exported as these percentiles plus a plot-ready series.
+_CDF_PERCENTILES = (10, 25, 50, 75, 80, 90, 95, 98, 99)
+
+
+def to_jsonable(obj: Any, _depth: int = 0) -> Any:
+    """Lower an arbitrary result object to JSON-serialisable values."""
+    if _depth > 24:
+        return repr(obj)  # defensive: never recurse forever
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, EmpiricalCDF):
+        return {
+            "n": len(obj),
+            "mean": obj.mean,
+            "percentiles": {str(p): obj.percentile(p) for p in _CDF_PERCENTILES},
+            "series": obj.series(max_points=100),
+        }
+    if isinstance(obj, City):
+        return obj.iata
+    if isinstance(obj, GeoPoint):
+        return {"lat": obj.lat, "lon": obj.lon}
+    if isinstance(obj, (IPv4Address, IPv4Prefix)):
+        return str(obj)
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name), _depth + 1)
+            for f in dataclasses.fields(obj)
+            if not f.name.startswith("_")
+        }
+    if isinstance(obj, dict):
+        return {
+            _key(k): to_jsonable(v, _depth + 1) for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [to_jsonable(v, _depth + 1) for v in items]
+    # Fall back to the object's public attributes (plain classes).
+    public = {
+        k: v for k, v in vars(obj).items() if not k.startswith("_")
+    } if hasattr(obj, "__dict__") else None
+    if public:
+        return {k: to_jsonable(v, _depth + 1) for k, v in public.items()}
+    return repr(obj)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    if isinstance(key, tuple):
+        return "|".join(str(_key(k)) for k in key)
+    return str(key)
+
+
+def export_results(results: list[Any], path: str) -> None:
+    """Write a list of experiment results to a JSON file."""
+    payload = {
+        getattr(r, "experiment_id", f"result_{i}"): to_jsonable(r)
+        for i, r in enumerate(results)
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)

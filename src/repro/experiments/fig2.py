@@ -1,0 +1,121 @@
+"""Fig. 2 — client partitions and CDN site partitions.
+
+For each representative hostname (Edgio-3, Edgio-4, Imperva-6):
+
+- the *client partition*: which regional IP each probe receives from DNS,
+  summarised per region (probe counts, dominant countries) and per
+  country (how many countries receive exactly one regional IP — §4.3
+  reports 81.7% / 84.7% / 79.3%);
+- the *site partition*: which sites the p-hop pipeline finds announcing
+  each regional prefix, with MIXED (multi-region) sites flagged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.cdn.deployment import RegionalDeployment
+from repro.dnssim.resolver import DnsMode
+from repro.dnssim.service import GeoMappingService
+from repro.experiments.world import World
+
+
+@dataclass
+class PartitionView:
+    """Client and site partition of one deployment."""
+
+    name: str
+    hostname: str
+    #: region → number of probes receiving its address.
+    probes_per_region: dict[str, int]
+    #: region → enumerated site IATA codes.
+    sites_per_region: dict[str, list[str]]
+    #: Sites announcing more than one regional prefix ("MIXED").
+    mixed_sites: list[str]
+    #: Fraction of countries whose probes all receive one regional IP.
+    single_ip_country_fraction: float
+    #: countries observed with 2+ regional IPs.
+    multi_ip_countries: list[str]
+
+    def render(self) -> str:
+        rows = []
+        for region in sorted(self.probes_per_region):
+            rows.append(
+                [
+                    region,
+                    self.probes_per_region[region],
+                    " ".join(self.sites_per_region.get(region, [])),
+                ]
+            )
+        table = render_table(
+            ["Region", "Probes", "Sites announcing the prefix"],
+            rows,
+            title=f"{self.name} ({self.hostname})",
+        )
+        extras = (
+            f"MIXED sites: {' '.join(self.mixed_sites) or '(none)'}\n"
+            f"countries with a single regional IP: "
+            f"{100.0 * self.single_ip_country_fraction:.1f}%"
+        )
+        return f"{table}\n{extras}"
+
+
+@dataclass
+class Fig2Result:
+    experiment_id: str
+    views: list[PartitionView] = field(default_factory=list)
+
+    def view(self, name: str) -> PartitionView:
+        for v in self.views:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    def render(self) -> str:
+        return "\n\n".join(
+            ["== fig2: client and site partitions =="]
+            + [v.render() for v in self.views]
+        )
+
+
+def partition_view(
+    world: World, deployment: RegionalDeployment, service: GeoMappingService
+) -> PartitionView:
+    answers = world.resolve_all(service, DnsMode.LDNS)
+    probes_per_region: Counter = Counter()
+    country_addrs: dict[str, set] = defaultdict(set)
+    for probe in world.usable_probes:
+        addr = answers[probe.probe_id]
+        region = deployment.region_of_address(addr)
+        if region is not None:
+            probes_per_region[region] += 1
+        country_addrs[probe.country].add(addr)
+    single = sum(1 for addrs in country_addrs.values() if len(addrs) == 1)
+    multi = sorted(c for c, addrs in country_addrs.items() if len(addrs) > 1)
+    site_regions: dict[str, list[str]] = {}
+    region_count_of_site: Counter = Counter()
+    for region, mapping in world.enumerate_deployment_sites(deployment).items():
+        iatas = sorted(c.iata for c in mapping.sites)
+        site_regions[region] = iatas
+        for iata in iatas:
+            region_count_of_site[iata] += 1
+    mixed = sorted(s for s, n in region_count_of_site.items() if n > 1)
+    return PartitionView(
+        name=deployment.name,
+        hostname=service.hostname,
+        probes_per_region=dict(probes_per_region),
+        sites_per_region=site_regions,
+        mixed_sites=mixed,
+        single_ip_country_fraction=single / max(1, len(country_addrs)),
+        multi_ip_countries=multi,
+    )
+
+
+def run(world: World) -> Fig2Result:
+    result = Fig2Result(experiment_id="fig2")
+    result.views.append(partition_view(world, world.edgio.eg3, world.eg3_service))
+    result.views.append(partition_view(world, world.edgio.eg4, world.eg4_service))
+    result.views.append(partition_view(world, world.imperva.im6, world.im6_service))
+    return result

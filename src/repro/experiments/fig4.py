@@ -1,0 +1,156 @@
+"""Fig. 4 — client latency and catchment-distance CDFs.
+
+Three panels, each with an RTT CDF and a distance CDF per probe area:
+
+- (a) Edgio-3 vs Edgio-4 — LatAm improves markedly in Edgio-4 because
+  South American clients get their own regional prefix;
+- (b) Imperva-6;
+- (c) Imperva-6 vs Imperva-NS restricted to overlapping sites and peers.
+
+RTT is the group-median RTT to the DNS-returned regional IP; distance is
+the group-median great-circle distance from probe to its *inferred*
+catchment site (§4.4 pipeline output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.report import render_table
+from repro.cdn.deployment import RegionalDeployment
+from repro.dnssim.resolver import DnsMode
+from repro.dnssim.service import GeoMappingService
+from repro.experiments.compare53 import build_comparison
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+
+
+@dataclass
+class AreaCdfs:
+    """RTT and distance CDFs for one (network, area)."""
+
+    rtt: EmpiricalCDF | None
+    distance_km: EmpiricalCDF | None
+
+
+@dataclass
+class Fig4Result:
+    experiment_id: str
+    #: series name (e.g. "EG3", "EG4", "IM6", "IM6-filtered", "IM-NS") →
+    #: area → CDFs.
+    series: dict[str, dict[Area, AreaCdfs]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Series", "Area", "n", "RTT p50", "RTT p90", "RTT p98",
+                   "km p50", "km p90", ">100ms"]
+        rows = []
+        for name, by_area in self.series.items():
+            for area in AREAS:
+                cdfs = by_area.get(area)
+                if cdfs is None or cdfs.rtt is None:
+                    continue
+                rtt, dist = cdfs.rtt, cdfs.distance_km
+                rows.append(
+                    [
+                        name,
+                        area.value,
+                        len(rtt),
+                        f"{rtt.percentile(50):.0f}",
+                        f"{rtt.percentile(90):.0f}",
+                        f"{rtt.percentile(98):.0f}",
+                        f"{dist.percentile(50):.0f}" if dist else "-",
+                        f"{dist.percentile(90):.0f}" if dist else "-",
+                        f"{100.0 * rtt.fraction_above(100.0):.1f}%",
+                    ]
+                )
+        return render_table(headers, rows,
+                            title="== fig4: latency and distance CDFs ==")
+
+    def render_plot(self, area: Area = Area.EMEA) -> str:
+        """ASCII RTT CDF plot for one area across all series."""
+        from repro.analysis.asciiplot import render_cdf_plot
+
+        curves = {
+            name: by_area[area].rtt
+            for name, by_area in self.series.items()
+            if by_area.get(area) is not None and by_area[area].rtt is not None
+        }
+        return render_cdf_plot(
+            curves, title=f"fig4: RTT CDFs, {area.value} groups"
+        )
+
+
+def group_rtt_distance(
+    world: World,
+    deployment: RegionalDeployment,
+    service: GeoMappingService,
+    mode: DnsMode = DnsMode.LDNS,
+) -> dict[tuple[str, int], tuple[float, float]]:
+    """Per-group (median RTT, median distance) to the DNS-returned IP."""
+    answers = world.resolve_all(service, mode)
+    per_probe_rtt: dict[int, float] = {}
+    per_probe_dist: dict[int, float] = {}
+    for probe in world.usable_probes:
+        addr = answers[probe.probe_id]
+        ping = world.ping_all(addr)[probe.probe_id]
+        if ping.rtt_ms is None:
+            continue
+        per_probe_rtt[probe.probe_id] = ping.rtt_ms
+        mapping = world.map_sites_for_address(addr, deployment.published_cities)
+        site = mapping.catchment_site.get(probe.probe_id)
+        if site is not None:
+            per_probe_dist[probe.probe_id] = probe.location.distance_km(site.location)
+    result: dict[tuple[str, int], tuple[float, float]] = {}
+    for group in world.groups:
+        rtt = group.median(per_probe_rtt)
+        dist = group.median(per_probe_dist)
+        if rtt is not None and dist is not None:
+            result[group.key] = (rtt, dist)
+    return result
+
+
+def _cdfs_by_area(
+    world: World, values: dict[tuple[str, int], tuple[float, float]]
+) -> dict[Area, AreaCdfs]:
+    area_of_group = {g.key: g.area for g in world.groups}
+    by_area: dict[Area, AreaCdfs] = {}
+    for area in AREAS:
+        rtts = [v[0] for k, v in values.items() if area_of_group.get(k) is area]
+        dists = [v[1] for k, v in values.items() if area_of_group.get(k) is area]
+        by_area[area] = AreaCdfs(
+            rtt=EmpiricalCDF.of(rtts) if rtts else None,
+            distance_km=EmpiricalCDF.of(dists) if dists else None,
+        )
+    return by_area
+
+
+def run(world: World) -> Fig4Result:
+    result = Fig4Result(experiment_id="fig4")
+    result.series["EG3"] = _cdfs_by_area(
+        world, group_rtt_distance(world, world.edgio.eg3, world.eg3_service)
+    )
+    result.series["EG4"] = _cdfs_by_area(
+        world, group_rtt_distance(world, world.edgio.eg4, world.eg4_service)
+    )
+    result.series["IM6"] = _cdfs_by_area(
+        world, group_rtt_distance(world, world.imperva.im6, world.im6_service)
+    )
+    # Panel (c): the overlap-filtered comparison.
+    comparison = build_comparison(world)
+    filtered_reg: dict[Area, AreaCdfs] = {}
+    filtered_glob: dict[Area, AreaCdfs] = {}
+    for area in AREAS:
+        in_area = comparison.in_area(area)
+        if in_area:
+            filtered_reg[area] = AreaCdfs(
+                rtt=EmpiricalCDF.of([g.rtt_regional_ms for g in in_area]),
+                distance_km=EmpiricalCDF.of([g.dist_regional_km for g in in_area]),
+            )
+            filtered_glob[area] = AreaCdfs(
+                rtt=EmpiricalCDF.of([g.rtt_global_ms for g in in_area]),
+                distance_km=EmpiricalCDF.of([g.dist_global_km for g in in_area]),
+            )
+    result.series["IM6-overlap"] = filtered_reg
+    result.series["IM-NS-overlap"] = filtered_glob
+    return result

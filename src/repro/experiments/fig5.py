@@ -1,0 +1,62 @@
+"""Fig. 5 — CDFs of RTT and distance differences, regional − global.
+
+Per-area CDFs of each retained probe group's ΔRTT and Δdistance between
+its Imperva-6 and Imperva-NS catchments.  Negative values mean regional
+anycast is faster / closer; the paper observes that the share of groups
+with a distance reduction tracks the share with a latency reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.report import render_table
+from repro.experiments.compare53 import build_comparison
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+
+
+@dataclass
+class Fig5Result:
+    experiment_id: str
+    delta_rtt: dict[Area, EmpiricalCDF] = field(default_factory=dict)
+    delta_dist: dict[Area, EmpiricalCDF] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Area", "n", "dRTT p10", "dRTT p50", "dRTT p90",
+                   "frac dRTT<0", "frac dKM<0"]
+        rows = []
+        for area in AREAS:
+            rtt = self.delta_rtt.get(area)
+            dist = self.delta_dist.get(area)
+            if rtt is None or dist is None:
+                continue
+            rows.append(
+                [
+                    area.value,
+                    len(rtt),
+                    f"{rtt.percentile(10):.0f}",
+                    f"{rtt.percentile(50):.0f}",
+                    f"{rtt.percentile(90):.0f}",
+                    f"{100.0 * rtt.fraction_at(-1e-9):.1f}%",
+                    f"{100.0 * dist.fraction_at(-1e-9):.1f}%",
+                ]
+            )
+        return render_table(
+            headers, rows,
+            title="== fig5: regional - global deltas (RTT ms / distance km) ==",
+        )
+
+
+def run(world: World) -> Fig5Result:
+    comparison = build_comparison(world)
+    result = Fig5Result(experiment_id="fig5")
+    for area in AREAS:
+        rtt = comparison.delta_rtt_cdf(area)
+        dist = comparison.delta_dist_cdf(area)
+        if rtt is not None:
+            result.delta_rtt[area] = rtt
+        if dist is not None:
+            result.delta_dist[area] = dist
+    return result

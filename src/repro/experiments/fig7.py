@@ -1,0 +1,22 @@
+"""Fig. 7 — the peering-type-preference example.
+
+A Belarusian probe's AS prefers its *public* peer's route (which leads
+to Singapore through that peer's customer cone) over the *route-server*
+route straight to the Frankfurt site; the EMEA regional prefix, absent
+from the public peer's exports, lets the route-server session win.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1 import MicroCaseResult, run_scenario
+from repro.experiments.micro import fig7_scenario
+from repro.experiments.world import World
+
+
+def run(world: World | None = None) -> MicroCaseResult:
+    """Self-contained micro-topology; ``world`` accepted for uniformity."""
+    return run_scenario(
+        fig7_scenario(),
+        "fig7",
+        "public-peer preference beats the route server toward Frankfurt",
+    )

@@ -1,0 +1,67 @@
+"""Fig. 8 (Appendix D) — same-site latency validation.
+
+Probe groups that reach the *same* CDN site via the regional prefix and
+the global prefix (through common peers) should see near-identical RTT
+distributions — validating the assumption that Imperva applies no
+latency-impacting policy differences between the two prefix families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.report import render_table
+from repro.experiments.compare53 import build_comparison
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+
+
+@dataclass
+class Fig8Result:
+    experiment_id: str
+    regional: dict[Area, EmpiricalCDF] = field(default_factory=dict)
+    global_: dict[Area, EmpiricalCDF] = field(default_factory=dict)
+    #: Median absolute per-group RTT gap (should be small).
+    median_abs_gap_ms: float = 0.0
+
+    def render(self) -> str:
+        headers = ["Area", "n", "IM6 p50", "IM-NS p50", "IM6 p90", "IM-NS p90"]
+        rows = []
+        for area in AREAS:
+            reg = self.regional.get(area)
+            glob = self.global_.get(area)
+            if reg is None or glob is None:
+                continue
+            rows.append(
+                [
+                    area.value,
+                    len(reg),
+                    f"{reg.percentile(50):.0f}",
+                    f"{glob.percentile(50):.0f}",
+                    f"{reg.percentile(90):.0f}",
+                    f"{glob.percentile(90):.0f}",
+                ]
+            )
+        table = render_table(
+            headers, rows, title="== fig8: same-site RTTs, regional vs global =="
+        )
+        return f"{table}\nmedian |gap|: {self.median_abs_gap_ms:.1f} ms"
+
+
+def run(world: World) -> Fig8Result:
+    comparison = build_comparison(world)
+    same_site = comparison.same_site_groups()
+    result = Fig8Result(experiment_id="fig8")
+    gaps = []
+    for area in AREAS:
+        in_area = [g for g in same_site if g.area is area]
+        if not in_area:
+            continue
+        result.regional[area] = EmpiricalCDF.of([g.rtt_regional_ms for g in in_area])
+        result.global_[area] = EmpiricalCDF.of([g.rtt_global_ms for g in in_area])
+        gaps.extend(abs(g.delta_rtt_ms) for g in in_area)
+    if gaps:
+        gaps.sort()
+        result.median_abs_gap_ms = gaps[len(gaps) // 2]
+    return result

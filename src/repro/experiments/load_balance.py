@@ -1,0 +1,96 @@
+"""Load distribution: Imperva global vs regional catchments.
+
+Quantifies the §6.2 closing observation: a regional prefix covers
+multiple sites, and within each region plain anycast spreads the load —
+so an operator trading DNS-per-site mapping for regional anycast keeps
+load dispersion while shedding the mapping machinery.  We compare how
+evenly the *same* site set is loaded under the global prefix vs under
+the union of regional prefixes (each client counted at the regional IP
+DNS hands it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.load import LoadDistribution, load_distribution
+from repro.analysis.report import render_table
+from repro.dnssim.resolver import DnsMode
+from repro.experiments.world import World
+from repro.measurement.engine import PingResult
+
+
+@dataclass
+class LoadBalanceResult:
+    experiment_id: str
+    distributions: dict[str, LoadDistribution] = field(default_factory=dict)
+    #: site name → (global share, regional share), largest global first.
+    top_sites: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = [
+            [
+                dist.label,
+                dist.total,
+                dist.num_sites,
+                dist.empty_sites,
+                f"{100.0 * dist.max_share:.1f}%",
+                f"{dist.coefficient_of_variation:.2f}",
+            ]
+            for dist in self.distributions.values()
+        ]
+        table = render_table(
+            ["Configuration", "Probes", "Sites", "Empty", "Max site share",
+             "Load CV"],
+            rows,
+            title="== load balance: Imperva global vs regional catchments ==",
+        )
+        top = render_table(
+            ["Site", "Global share", "Regional share"],
+            [
+                [name, f"{100.0 * g:.1f}%", f"{100.0 * r:.1f}%"]
+                for name, g, r in self.top_sites[:8]
+            ],
+            title="largest catchments",
+        )
+        return f"{table}\n\n{top}"
+
+
+def run(world: World) -> LoadBalanceResult:
+    result = LoadBalanceResult(experiment_id="load-balance")
+    network = world.imperva.network
+    ns = world.imperva.ns
+    im6 = world.imperva.im6
+
+    global_pings = world.ping_all(ns.address)
+    ns_nodes = [network.site(n).node_id for n in ns.site_names]
+    result.distributions["global (IM-NS)"] = load_distribution(
+        "global (IM-NS)", global_pings, ns_nodes
+    )
+
+    # Regional: each probe counted at the regional address DNS returns.
+    answers = world.resolve_all(world.im6_service, DnsMode.LDNS)
+    regional_pings: dict[int, PingResult] = {}
+    for probe in world.usable_probes:
+        regional_pings[probe.probe_id] = world.ping_all(
+            answers[probe.probe_id]
+        )[probe.probe_id]
+    im6_nodes = [s.node_id for s in im6.deployed_sites()]
+    result.distributions["regional (IM-6)"] = load_distribution(
+        "regional (IM-6)", regional_pings, im6_nodes
+    )
+
+    global_dist = result.distributions["global (IM-NS)"]
+    regional_dist = result.distributions["regional (IM-6)"]
+    name_of = {network.site(n).node_id: n for n in network.site_names()}
+    ranked = sorted(
+        set(global_dist.load) | set(regional_dist.load),
+        key=lambda node: -global_dist.share_of(node),
+    )
+    result.top_sites = [
+        (name_of.get(node, str(node)),
+         global_dist.share_of(node),
+         regional_dist.share_of(node))
+        for node in ranked
+    ]
+    return result

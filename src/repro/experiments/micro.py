@@ -1,0 +1,253 @@
+"""Hand-built micro-topologies for the paper's two illustrative cases.
+
+These are the smallest worlds in which the two BGP pathologies appear:
+
+- :func:`fig1_scenario` — the Washington-D.C. probe whose provider
+  (a Zayo-like transit) prefers its *customer* SingTel's route to the
+  Singapore site over its *peer* Level 3's route to the Ashburn site;
+- :func:`fig7_scenario` — the Belarusian AS 6697 that prefers its
+  *public* peer's (Zayo's) route — which leads to Singapore — over the
+  *route-server* route straight to the Frankfurt site at a DE-CIX-like
+  exchange.
+
+Both scenarios expose a global and a regional configuration so callers
+(Fig. 1 / Fig. 7 experiments, examples, and tests) can verify that the
+regional prefix flips the catchment and collapses the RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.atlas import City, load_default_atlas
+from repro.geo.coords import GeoPoint
+from repro.measurement.engine import MeasurementEngine, ServiceRegistry
+from repro.measurement.probes import Probe
+from repro.netaddr.ipv4 import IPv4Address
+from repro.routing.route import Announcement, OriginSpec
+from repro.topology.asys import (
+    AutonomousSystem,
+    Interconnect,
+    Link,
+    LinkKind,
+    PoP,
+    Tier,
+)
+from repro.topology.builder import AddressPlan
+from repro.topology.graph import Topology
+from repro.topology.ixp import IXP
+
+
+@dataclass
+class MicroScenario:
+    """A hand-built world with one probe and two prefix configurations."""
+
+    topology: Topology
+    engine: MeasurementEngine
+    probe: Probe
+    global_addr: IPv4Address
+    regional_addr: IPv4Address
+    #: site name → city, for reporting catchments.
+    site_city: dict[int, City]
+
+    def catchment_and_rtt(self, addr: IPv4Address) -> tuple[City, float]:
+        ping = self.engine.ping(self.probe, addr)
+        if ping.rtt_ms is None or ping.catchment is None:
+            raise RuntimeError(f"probe cannot reach {addr}")
+        return self.site_city[ping.catchment], ping.rtt_ms
+
+
+class _MicroBuilder:
+    """Imperative construction helpers over the core topology types."""
+
+    def __init__(self) -> None:
+        self.topology = Topology()
+        self.plan = AddressPlan.default()
+        self.atlas = load_default_atlas()
+        self.topology.address_plan = self.plan  # type: ignore[attr-defined]
+        self.topology.atlas = self.atlas  # type: ignore[attr-defined]
+        self._next_node = 1
+
+    def add_as(
+        self, name: str, tier: Tier, home: str, iatas: list[str], node_id: int | None = None
+    ) -> AutonomousSystem:
+        nid = node_id if node_id is not None else self._next_node
+        self._next_node = max(self._next_node, nid) + 1
+        node = AutonomousSystem(
+            node_id=nid,
+            asn=nid,
+            name=name,
+            tier=tier,
+            home_country=home,
+            pops=tuple(PoP(city=self.atlas.get(i)) for i in iatas),
+            infra_prefix=self.plan.infra.allocate(22),
+        )
+        self.topology.add_node(node)
+        return node
+
+    def add_site(
+        self, name: str, asn: int, iata: str
+    ) -> AutonomousSystem:
+        node = AutonomousSystem(
+            node_id=self._next_node + 1_000_000,
+            asn=asn,
+            name=name,
+            tier=Tier.CDN,
+            home_country=self.atlas.get(iata).country,
+            pops=(PoP(city=self.atlas.get(iata)),),
+            infra_prefix=self.plan.infra.allocate(24),
+        )
+        self._next_node += 1
+        self.topology.add_node(node)
+        return node
+
+    def link(
+        self,
+        a: AutonomousSystem,
+        b: AutonomousSystem,
+        kind: LinkKind,
+        iata: str,
+        ixp: IXP | None = None,
+        extra_ms: float = 0.5,
+    ) -> None:
+        city = self.atlas.get(iata)
+        if ixp is not None:
+            addr_a = ixp.allocate_lan_address()
+            addr_b = ixp.allocate_lan_address()
+        else:
+            addr_a = self.plan.infra_for(a).allocate(32).network_address
+            addr_b = self.plan.infra_for(b).allocate(32).network_address
+        self.topology.add_link(
+            Link(
+                a=a.node_id,
+                b=b.node_id,
+                kind=kind,
+                interconnects=(
+                    Interconnect(city=city, addr_a=addr_a, addr_b=addr_b,
+                                 extra_ms=extra_ms),
+                ),
+                ixp_id=ixp.ixp_id if ixp is not None else None,
+            )
+        )
+
+    def probe_at(self, node: AutonomousSystem, point: GeoPoint) -> Probe:
+        prefix = self.plan.hosts.allocate(24)
+        return Probe(
+            probe_id=0,
+            addr=prefix.address(1),
+            as_node=node.node_id,
+            country=node.home_country,
+            location=point,
+            reported_location=point,
+            city_code=self.atlas.nearest(point, node.home_country).iata,
+            stable=True,
+            geocode_reliable=True,
+            last_mile_ms=1.0,
+        )
+
+
+def _finish(
+    builder: _MicroBuilder,
+    probe: Probe,
+    global_ann: Announcement,
+    regional_ann: Announcement,
+    sites: list[AutonomousSystem],
+) -> MicroScenario:
+    registry = ServiceRegistry()
+    registry.register(global_ann)
+    registry.register(regional_ann)
+    engine = MeasurementEngine(
+        builder.topology, registry, seed=0, jitter_fraction=0.0,
+        hop_silent_fraction=0.0,
+    )
+    return MicroScenario(
+        topology=builder.topology,
+        engine=engine,
+        probe=probe,
+        global_addr=global_ann.prefix.address(1),
+        regional_addr=regional_ann.prefix.address(1),
+        site_city={s.node_id: s.pops[0].city for s in sites},
+    )
+
+
+def fig1_scenario() -> MicroScenario:
+    """The Fig. 1 customer-over-peer catchment inefficiency."""
+    b = _MicroBuilder()
+    zayo = b.add_as("zayo-like", Tier.TIER1, "US", ["DCA", "LAX", "JFK"])
+    level3 = b.add_as("level3-like", Tier.TIER1, "US", ["IAD", "DCA", "LAX"])
+    singtel = b.add_as("singtel-like", Tier.TRANSIT, "SG", ["SIN", "LAX"])
+    client = b.add_as("as10745-like", Tier.STUB, "US", ["DCA"])
+    cdn_asn = 19551
+    site_iad = b.add_site("imperva-iad", cdn_asn, "IAD")
+    site_sin = b.add_site("imperva-sin", cdn_asn, "SIN")
+    b.link(zayo, level3, LinkKind.PEER_PRIVATE, "DCA")  # peers
+    b.link(singtel, zayo, LinkKind.TRANSIT, "LAX")  # SingTel buys from Zayo
+    b.link(client, zayo, LinkKind.TRANSIT, "DCA")  # probe's provider
+    b.link(site_iad, level3, LinkKind.TRANSIT, "IAD")  # Ashburn site
+    b.link(site_sin, singtel, LinkKind.TRANSIT, "SIN")  # Singapore site
+    global_prefix = b.plan.services.allocate(24)
+    regional_prefix = b.plan.services.allocate(24)
+    global_ann = Announcement(
+        prefix=global_prefix,
+        origins=(
+            OriginSpec(site_node=site_iad.node_id),
+            OriginSpec(site_node=site_sin.node_id),
+        ),
+    )
+    regional_ann = Announcement(  # the U.S. regional prefix
+        prefix=regional_prefix,
+        origins=(OriginSpec(site_node=site_iad.node_id),),
+    )
+    probe = b.probe_at(client, b.atlas.get("DCA").location)
+    return _finish(b, probe, global_ann, regional_ann, [site_iad, site_sin])
+
+
+def fig7_scenario() -> MicroScenario:
+    """The Fig. 7 public-peer-over-route-server inefficiency."""
+    b = _MicroBuilder()
+    zayo = b.add_as("zayo-like", Tier.TIER1, "US", ["FRA", "LAX"])
+    twelve99 = b.add_as("twelve99-like", Tier.TIER1, "SE", ["FRA", "AMS", "ARN"])
+    singtel = b.add_as("singtel-like", Tier.TRANSIT, "SG", ["SIN", "LAX"])
+    client = b.add_as("as6697-like", Tier.STUB, "BY", ["MSQ", "FRA"])
+    cdn_asn = 19551
+    site_ams = b.add_site("imperva-ams", cdn_asn, "AMS")
+    site_fra = b.add_site("imperva-fra", cdn_asn, "FRA")
+    site_sin = b.add_site("imperva-sin", cdn_asn, "SIN")
+    decix = IXP(
+        ixp_id=1,
+        name="DE-CIX-like",
+        city=b.atlas.get("FRA"),
+        lan_prefix=b.plan.ixp_lans.allocate(24),
+        publishes_route_server_feed=True,
+    )
+    b.topology.add_ixp(decix)
+    for member in (zayo, client, site_fra):
+        decix.join(member.node_id, route_server=True)
+    b.link(zayo, twelve99, LinkKind.PEER_PRIVATE, "FRA")
+    b.link(singtel, zayo, LinkKind.TRANSIT, "LAX")
+    b.link(client, twelve99, LinkKind.TRANSIT, "FRA")  # transit provider
+    b.link(client, zayo, LinkKind.PEER_PUBLIC, "FRA", ixp=decix)  # public peer
+    b.link(client, site_fra, LinkKind.PEER_ROUTE_SERVER, "FRA", ixp=decix)
+    b.link(site_ams, twelve99, LinkKind.TRANSIT, "AMS")
+    b.link(site_fra, twelve99, LinkKind.TRANSIT, "FRA")
+    b.link(site_sin, singtel, LinkKind.TRANSIT, "SIN")
+    global_prefix = b.plan.services.allocate(24)
+    regional_prefix = b.plan.services.allocate(24)
+    global_ann = Announcement(
+        prefix=global_prefix,
+        origins=(
+            OriginSpec(site_node=site_ams.node_id),
+            OriginSpec(site_node=site_fra.node_id),
+            OriginSpec(site_node=site_sin.node_id),
+        ),
+    )
+    regional_ann = Announcement(  # the EMEA regional prefix
+        prefix=regional_prefix,
+        origins=(
+            OriginSpec(site_node=site_ams.node_id),
+            OriginSpec(site_node=site_fra.node_id),
+        ),
+    )
+    probe = b.probe_at(client, b.atlas.get("MSQ").location)
+    return _finish(b, probe, global_ann, regional_ann,
+                   [site_ams, site_fra, site_sin])

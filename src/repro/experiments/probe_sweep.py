@@ -1,0 +1,85 @@
+"""Vantage-point sufficiency: how many probes does enumeration need?
+
+The paper's site enumeration depends on RIPE Atlas's footprint, and its
+related work asks "how many sites are enough" from the latency side
+(de O. Schmidt et al., cited as [22]).  The mirror question for the
+methodology is *how many probes are enough to see all the sites*: each
+probe only reveals its own catchment, so small vantage sets miss sites
+with small catchments.
+
+This experiment subsamples the probe population at several sizes, runs
+the full §4.4 pipeline against Imperva-NS at each size, and reports the
+enumeration completeness curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.experiments.world import World
+
+DEFAULT_SIZES = (50, 100, 250, 500, 1000, 2000)
+
+
+@dataclass
+class ProbeSweepResult:
+    experiment_id: str
+    #: probe-sample size → (sites enumerated, distinct true catchments).
+    curve: dict[int, tuple[int, int]] = field(default_factory=dict)
+    published_sites: int = 0
+
+    def render(self) -> str:
+        rows = [
+            [size, found, true_catchments,
+             f"{100.0 * found / self.published_sites:.0f}%"]
+            for size, (found, true_catchments) in sorted(self.curve.items())
+        ]
+        return render_table(
+            ["Probes", "Sites enumerated", "True catchments in sample",
+             "Completeness"],
+            rows,
+            title=f"== probe sweep: enumeration completeness vs vantage "
+                  f"points ({self.published_sites} published sites) ==",
+        )
+
+    def completeness_at(self, size: int) -> float:
+        found, _ = self.curve[size]
+        return found / self.published_sites
+
+
+def run(world: World, sizes: tuple[int, ...] = DEFAULT_SIZES) -> ProbeSweepResult:
+    ns = world.imperva.ns
+    addr = ns.address
+    all_traces = world.trace_all(addr)
+    mapper = world.site_mapper(ns.published_cities)
+    rng = random.Random(world.config.measurement_seed + 77)
+    probes = list(world.usable_probes)
+    result = ProbeSweepResult(
+        experiment_id="probe-sweep",
+        published_sites=len(ns.published_cities),
+    )
+    for size in sizes:
+        if size > len(probes):
+            size = len(probes)
+        sample = rng.sample(probes, size)
+        sample_ids = {p.probe_id for p in sample}
+        traces = {
+            pid: trace for pid, trace in all_traces.items()
+            if pid in sample_ids
+        }
+        mapping = mapper.map_traces(
+            traces, {p.probe_id: p for p in sample}
+        )
+        true_catchments = len(
+            {
+                trace.path.dest_city.iata
+                for trace in traces.values()
+                if trace.path is not None
+            }
+        )
+        result.curve[size] = (len(mapping.sites), true_catchments)
+        if size == len(probes):
+            break
+    return result

@@ -1,0 +1,63 @@
+"""Site-failure resilience on the Tangled testbed (§4.5's robustness).
+
+For every testbed site: withdraw it, confirm its catchment fails over to
+surviving sites with full reachability, and report the latency penalty
+the failed-over probes pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.analysis.resilience import SiteWithdrawalImpact, site_withdrawal_study
+from repro.experiments.world import World
+
+
+@dataclass
+class ResilienceResult:
+    experiment_id: str
+    impacts: list[SiteWithdrawalImpact] = field(default_factory=list)
+
+    @property
+    def min_reachable_fraction(self) -> float:
+        affected = [i for i in self.impacts if i.affected_probes > 0]
+        if not affected:
+            return 1.0
+        return min(i.reachable_fraction for i in affected)
+
+    def render(self) -> str:
+        rows = []
+        for impact in sorted(self.impacts, key=lambda i: -i.affected_probes):
+            failover = " ".join(
+                f"{site}:{count}"
+                for site, count in sorted(
+                    impact.failover_catchments.items(), key=lambda kv: -kv[1]
+                )[:4]
+            )
+            rows.append(
+                [
+                    impact.site_name,
+                    impact.affected_probes,
+                    f"{100.0 * impact.reachable_fraction:.0f}%",
+                    f"{impact.mean_rtt_before_ms:.0f}",
+                    f"{impact.mean_rtt_after_ms:.0f}" if impact.affected_probes else "-",
+                    failover or "-",
+                ]
+            )
+        return render_table(
+            ["Withdrawn", "Affected", "Reachable", "RTT before", "RTT after",
+             "Failover catchments"],
+            rows,
+            title="== resilience: Tangled site withdrawal ==",
+        )
+
+
+def run(world: World) -> ResilienceResult:
+    impacts = site_withdrawal_study(
+        world.tangled.network,
+        world.tangled.site_names,
+        world.engine,
+        world.usable_probes,
+    )
+    return ResilienceResult(experiment_id="resilience", impacts=impacts)

@@ -1,0 +1,146 @@
+"""§5.2's deep dive: why do some probe groups see 100+ ms under regional
+anycast?
+
+The paper categorises Imperva-6's 148 affected probe groups into:
+
+- **set 1** — groups with an *alternative* regional IP under 100 ms;
+  subdivided by whether DNS returned the region intended for the group's
+  country (48.0%: the rigid geographic mapping is the cause) or not
+  (52.0%: IP-geolocation errors are the cause);
+- **set 2** — groups whose RTT to *every* regional IP exceeds 100 ms,
+  attributed to cross-region announcements (the Californian APAC site
+  catching Chinese clients) and poor intra-region connectivity (the
+  Argentinian clients reaching Brazil via Italy).
+
+This experiment reproduces the categorisation over the simulated
+Imperva-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.dnssim.resolver import DnsMode
+from repro.experiments.world import World
+
+THRESHOLD_MS = 100.0
+
+
+@dataclass
+class Sec52Result:
+    experiment_id: str
+    total_groups: int = 0
+    affected_groups: int = 0
+    #: set 1: an alternative regional IP is under the threshold.
+    set1_correct_region: int = 0  # DNS returned the intended region
+    set1_wrong_region: int = 0  # geolocation error
+    #: set 2: every regional IP is over the threshold.
+    set2_cross_region_catchment: int = 0  # caught by a MIXED announcer
+    set2_poor_connectivity: int = 0  # in-region site, terrible path
+    examples: list[str] = field(default_factory=list)
+
+    @property
+    def set1(self) -> int:
+        return self.set1_correct_region + self.set1_wrong_region
+
+    @property
+    def set2(self) -> int:
+        return self.set2_cross_region_catchment + self.set2_poor_connectivity
+
+    def render(self) -> str:
+        def pct(x: int, total: int) -> str:
+            return f"{100.0 * x / total:.1f}%" if total else "-"
+
+        rows = [
+            ["set 1: alternative <100ms, correct region (rigid mapping)",
+             self.set1_correct_region, pct(self.set1_correct_region, self.set1)],
+            ["set 1: alternative <100ms, wrong region (geo error)",
+             self.set1_wrong_region, pct(self.set1_wrong_region, self.set1)],
+            ["set 2: all regional IPs >=100ms, cross-region catchment",
+             self.set2_cross_region_catchment,
+             pct(self.set2_cross_region_catchment, self.set2)],
+            ["set 2: all regional IPs >=100ms, poor intra-region path",
+             self.set2_poor_connectivity,
+             pct(self.set2_poor_connectivity, self.set2)],
+        ]
+        table = render_table(
+            ["Category", "Groups", "Share of set"],
+            rows,
+            title=f"== sec5.2: {self.affected_groups} of {self.total_groups} "
+                  f"Imperva-6 groups exceed {THRESHOLD_MS:.0f} ms ==",
+        )
+        examples = "\n".join(f"  e.g. {e}" for e in self.examples[:4])
+        return f"{table}\n{examples}" if self.examples else table
+
+
+def run(world: World) -> Sec52Result:
+    im6 = world.imperva.im6
+    service = world.im6_service
+    result = Sec52Result(experiment_id="sec52-tails")
+    received = world.group_received_addr(service, DnsMode.LDNS)
+    rtts_by_addr = {
+        addr: world.group_median_rtt(addr) for addr in im6.regional_addresses()
+    }
+    answers = world.resolve_all(service, DnsMode.LDNS)
+    groups_by_key = {g.key: g for g in world.groups}
+    for key, addr in received.items():
+        group = groups_by_key[key]
+        rtt = rtts_by_addr.get(addr, {}).get(key)
+        if rtt is None:
+            continue
+        result.total_groups += 1
+        if rtt <= THRESHOLD_MS:
+            continue
+        result.affected_groups += 1
+        alternatives = {
+            a: table[key]
+            for a, table in rtts_by_addr.items()
+            if key in table and a != addr
+        }
+        best_alt = min(alternatives.values()) if alternatives else float("inf")
+        intended = im6.region_map.region_for(group.country)
+        received_region = im6.region_of_address(addr)
+        if best_alt < THRESHOLD_MS:
+            if received_region == intended:
+                result.set1_correct_region += 1
+                result.examples.append(
+                    f"{group.country}/{key[0]} got {received_region} "
+                    f"({rtt:.0f} ms) but another region serves it at "
+                    f"{best_alt:.0f} ms — rigid geographic mapping"
+                )
+            else:
+                result.set1_wrong_region += 1
+                result.examples.append(
+                    f"{group.country}/{key[0]} mis-mapped to "
+                    f"{received_region} ({rtt:.0f} ms) — geolocation error"
+                )
+        else:
+            # All regional IPs are slow: inspect the realised catchment.
+            probe = group.probes[0]
+            ping = world.ping_all(answers[probe.probe_id])[probe.probe_id]
+            catchment_site = (
+                world.imperva.network.site_of_node(ping.catchment)
+                if ping.catchment is not None else None
+            )
+            if (
+                catchment_site is not None
+                and received_region is not None
+                and received_region not in
+                im6.regions_of_site(catchment_site.name)[:1]
+                and len(im6.regions_of_site(catchment_site.name)) > 1
+            ):
+                result.set2_cross_region_catchment += 1
+                result.examples.append(
+                    f"{group.country}/{key[0]} caught by MIXED site "
+                    f"{catchment_site.name} at {rtt:.0f} ms — cross-region "
+                    f"announcement"
+                )
+            else:
+                result.set2_poor_connectivity += 1
+                where = catchment_site.name if catchment_site else "?"
+                result.examples.append(
+                    f"{group.country}/{key[0]} reaches in-region site "
+                    f"{where} at {rtt:.0f} ms — poor intra-region path"
+                )
+    return result

@@ -1,0 +1,82 @@
+"""Table 1 — sites per geographic area for every measured network.
+
+Columns: EG-3, EG-4, EG-Pub, IM-6, IM-NS, IM-Pub, Tangled.  The measured
+columns (EG-3/EG-4/IM-6/IM-NS) come from the §4.4 traceroute + p-hop
+pipeline, so they can undercount the published lists exactly as the
+paper's do (Edgio exposes 43/47 of its 79 published sites; Imperva 48/49
+of 50).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.cdn.deployment import GlobalDeployment, RegionalDeployment
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+from repro.geo.atlas import City
+
+
+@dataclass
+class Table1Result:
+    experiment_id: str
+    #: column name → {area → count} plus a "Total" row.
+    columns: dict[str, dict[Area, int]] = field(default_factory=dict)
+    #: column name → sorted IATA list of enumerated/published sites.
+    sites: dict[str, list[str]] = field(default_factory=dict)
+
+    def total(self, column: str) -> int:
+        return sum(self.columns[column].values())
+
+    def render(self) -> str:
+        headers = ["Area", *self.columns.keys()]
+        rows = []
+        for area in AREAS:
+            rows.append([area.value, *(self.columns[c].get(area, 0) for c in self.columns)])
+        rows.append(["Total", *(self.total(c) for c in self.columns)])
+        return render_table(headers, rows, title="Table 1: sites per area")
+
+
+def _area_counts(cities: list[City]) -> dict[Area, int]:
+    counts: dict[Area, int] = {a: 0 for a in AREAS}
+    for city in cities:
+        counts[city.area] += 1
+    return counts
+
+
+def enumerated_cities_regional(world: World, deployment: RegionalDeployment) -> list[City]:
+    """Distinct site cities the pipeline uncovers across all regions."""
+    seen: dict[str, City] = {}
+    for result in world.enumerate_deployment_sites(deployment).values():
+        for city in result.sites:
+            seen[city.iata] = city
+    return [seen[iata] for iata in sorted(seen)]
+
+
+def enumerated_cities_global(world: World, deployment: GlobalDeployment) -> list[City]:
+    return list(world.enumerate_global_sites(deployment).sites)
+
+
+def run(world: World) -> Table1Result:
+    eg3_sites = enumerated_cities_regional(world, world.edgio.eg3)
+    eg4_sites = enumerated_cities_regional(world, world.edgio.eg4)
+    im6_sites = enumerated_cities_regional(world, world.imperva.im6)
+    ns_sites = enumerated_cities_global(world, world.imperva.ns)
+    tangled_sites = [
+        world.tangled.site(name).city for name in world.tangled.site_names
+    ]
+    result = Table1Result(experiment_id="table1")
+    columns = {
+        "EG-3": eg3_sites,
+        "EG-4": eg4_sites,
+        "EG-Pub": world.edgio.published_cities,
+        "IM-6": im6_sites,
+        "IM-NS": ns_sites,
+        "IM-Pub": world.imperva.published_cities,
+        "Tangled": tangled_sites,
+    }
+    for name, cities in columns.items():
+        result.columns[name] = _area_counts(cities)
+        result.sites[name] = sorted(c.iata for c in cities)
+    return result

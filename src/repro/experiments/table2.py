@@ -1,0 +1,103 @@
+"""Table 2 — DNS mapping efficiency under LDNS and ADNS.
+
+For each hostname set (Edgio-3, Edgio-4, Imperva-6), each DNS mode, and
+each probe area: the fraction of probe groups whose returned regional IP
+is within 5 ms of their best regional IP, mapped to the intended region
+but ≥ 5 ms slower (✓Region), or mapped outside the intended region
+(×Region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.mapping import (
+    MappingClass,
+    MappingEfficiency,
+    classify_mapping,
+)
+from repro.analysis.report import render_table
+from repro.cdn.deployment import RegionalDeployment
+from repro.dnssim.resolver import DnsMode
+from repro.dnssim.service import GeoMappingService
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+
+
+@dataclass
+class Table2Result:
+    experiment_id: str
+    #: (hostset, mode) → MappingEfficiency.
+    efficiencies: dict[tuple[str, DnsMode], MappingEfficiency] = field(
+        default_factory=dict
+    )
+
+    def fraction(
+        self, hostset: str, mode: DnsMode, area: Area, outcome: MappingClass
+    ) -> float:
+        return self.efficiencies[(hostset, mode)].fraction(area, outcome)
+
+    def render(self) -> str:
+        headers = ["Condition", "CDN", "Mode", *(a.value for a in AREAS)]
+        rows = []
+        for outcome in MappingClass:
+            for hostset in ("Edgio-3", "Edgio-4", "Imperva-6"):
+                for mode in (DnsMode.LDNS, DnsMode.ADNS):
+                    eff = self.efficiencies[(hostset, mode)]
+                    rows.append(
+                        [
+                            outcome.value,
+                            hostset,
+                            "LDNS" if mode is DnsMode.LDNS else "ADNS",
+                            *(
+                                f"{100.0 * eff.fraction(a, outcome):.1f}%"
+                                for a in AREAS
+                            ),
+                        ]
+                    )
+        return render_table(headers, rows, title="== table2: DNS mapping efficiency ==")
+
+
+def mapping_efficiency(
+    world: World,
+    deployment: RegionalDeployment,
+    service: GeoMappingService,
+    mode: DnsMode,
+) -> MappingEfficiency:
+    """Classify every probe group for one (deployment, DNS mode)."""
+    received = world.group_received_addr(service, mode)
+    rtts_by_addr = {
+        addr: world.group_median_rtt(addr)
+        for addr in deployment.regional_addresses()
+    }
+    records = []
+    for group in world.groups:
+        addr = received.get(group.key)
+        if addr is None:
+            continue
+        rtt_by_addr = {
+            a: rtts[group.key]
+            for a, rtts in rtts_by_addr.items()
+            if group.key in rtts
+        }
+        if not rtt_by_addr:
+            continue
+        record = classify_mapping(deployment, group, addr, rtt_by_addr)
+        if record is not None:
+            records.append(record)
+    return MappingEfficiency(groups=records)
+
+
+def run(world: World) -> Table2Result:
+    result = Table2Result(experiment_id="table2")
+    combos = [
+        ("Edgio-3", world.edgio.eg3, world.eg3_service),
+        ("Edgio-4", world.edgio.eg4, world.eg4_service),
+        ("Imperva-6", world.imperva.im6, world.im6_service),
+    ]
+    for name, deployment, service in combos:
+        for mode in (DnsMode.LDNS, DnsMode.ADNS):
+            result.efficiencies[(name, mode)] = mapping_efficiency(
+                world, deployment, service, mode
+            )
+    return result

@@ -1,0 +1,58 @@
+"""Table 4 — ΔRTT performance × catchment-site relation cross-tab.
+
+For each area, probe groups are split into better / similar / worse
+(ΔRTT beyond ±5 ms) under regional anycast, and each bucket into the
+fraction reaching a closer / same / further site.  The paper finds that
+improved groups overwhelmingly reach closer sites, similar groups reach
+the same sites (97.9–100%), and degraded groups mostly reach further
+sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import render_table
+from repro.experiments.compare53 import build_comparison
+from repro.experiments.world import World
+from repro.geo.areas import AREAS, Area
+
+
+@dataclass
+class Table4Result:
+    experiment_id: str
+    #: area → performance → {closer/same/further fractions + count}.
+    crosstabs: dict[Area, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Area", "Performance", "n", "Closer", "Same", "Further"]
+        rows = []
+        for area in AREAS:
+            crosstab = self.crosstabs.get(area)
+            if crosstab is None:
+                continue
+            for perf in ("better", "similar", "worse"):
+                cells = crosstab[perf]
+                rows.append(
+                    [
+                        area.value,
+                        perf,
+                        int(cells["count"]),
+                        f"{100.0 * cells['closer']:.1f}%",
+                        f"{100.0 * cells['same']:.1f}%",
+                        f"{100.0 * cells['further']:.1f}%",
+                    ]
+                )
+        return render_table(
+            headers, rows,
+            title="== table4: dRTT class vs catchment-site relation ==",
+        )
+
+
+def run(world: World) -> Table4Result:
+    comparison = build_comparison(world)
+    result = Table4Result(experiment_id="table4")
+    for area in AREAS:
+        if comparison.in_area(area):
+            result.crosstabs[area] = comparison.crosstab(area)
+    return result

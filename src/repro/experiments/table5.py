@@ -1,0 +1,57 @@
+"""Table 5 / §4.1–4.2 — the CDN survey and hostname-set discovery.
+
+Runs the synthetic Tranco + CDNFinder pipeline, then the worldwide-ECS
+classification against the simulated deployments' DNS, reproducing the
+provider ranking, the 65.7% top-15 coverage, the 2.98% Edgio+Imperva
+share, the Edgio-3/Edgio-4/Imperva-6 hostname sets, and Appendix A's
+redirection-method table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import render_table
+from repro.cdn.survey import CdnSurvey, HostnameSets, SurveyParams
+from repro.experiments.world import World
+
+
+@dataclass
+class Table5Result:
+    experiment_id: str
+    survey: CdnSurvey = None
+    hostname_sets: HostnameSets = None
+
+    def render(self) -> str:
+        redirection = render_table(
+            ["CDN", "Redirection Method"],
+            self.survey.redirection_table(),
+            title="== table5: top CDNs and redirection methods ==",
+        )
+        ranking = render_table(
+            ["Provider", "Websites"],
+            self.survey.provider_ranking()[:15],
+            title="provider ranking (synthetic Tranco top list)",
+        )
+        stats = (
+            f"top-15 coverage: {100.0 * self.survey.coverage():.1f}%  |  "
+            f"Edgio+Imperva share: {100.0 * self.survey.regional_share():.2f}%\n"
+            f"hostname sets: {self.hostname_sets.summary()}"
+        )
+        return "\n\n".join([redirection, ranking, stats])
+
+
+def run(world: World, params: SurveyParams | None = None) -> Table5Result:
+    survey = CdnSurvey(params or SurveyParams(seed=world.config.survey_seed))
+    subnets = sorted(
+        {p.client_subnet for p in world.usable_probes}, key=lambda s: s.network
+    )
+    sets = survey.classify(
+        client_subnets=list(subnets),
+        services={
+            "regional-3": world.eg3_service,
+            "regional-4": world.eg4_service,
+            "regional-6": world.im6_service,
+        },
+    )
+    return Table5Result(experiment_id="table5", survey=survey, hostname_sets=sets)

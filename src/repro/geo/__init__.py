@@ -1,0 +1,53 @@
+"""Geographic substrate: coordinates, distance, latency, and the world atlas.
+
+This package provides everything the simulator needs to reason about *where*
+network elements are:
+
+- :mod:`repro.geo.coords` — latitude/longitude points, great-circle distance,
+  and the fiber propagation-latency model used throughout the paper
+  ("roughly 100 km per 1 ms RTT").
+- :mod:`repro.geo.atlas` — an embedded world atlas of major cities with IATA
+  codes, countries, and continents, standing in for the IATA airport
+  directory the paper uses to assign ``<city, AS>`` group city codes.
+- :mod:`repro.geo.countries` — country → continent tables and the country
+  metadata needed for country-level DNS geo-mapping.
+- :mod:`repro.geo.areas` — the paper's four probe areas (EMEA / NA / LatAm /
+  APAC, §3.1) and the classification rule mapping a location to its area.
+"""
+
+from repro.geo.areas import Area, area_of_country
+from repro.geo.atlas import City, WorldAtlas, load_default_atlas
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS_RTT,
+    GeoPoint,
+    great_circle_km,
+    min_rtt_ms,
+    propagation_delay_ms,
+)
+from repro.geo.countries import (
+    CONTINENTS,
+    Continent,
+    continent_of,
+    country_name,
+    iter_countries,
+)
+
+__all__ = [
+    "Area",
+    "City",
+    "CONTINENTS",
+    "Continent",
+    "EARTH_RADIUS_KM",
+    "FIBER_KM_PER_MS_RTT",
+    "GeoPoint",
+    "WorldAtlas",
+    "area_of_country",
+    "continent_of",
+    "country_name",
+    "great_circle_km",
+    "iter_countries",
+    "load_default_atlas",
+    "min_rtt_ms",
+    "propagation_delay_ms",
+]

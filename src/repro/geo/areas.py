@@ -1,0 +1,60 @@
+"""The paper's four probe areas (§3.1) and the classification rule.
+
+RIPE Atlas probes are unevenly distributed, so the paper reports every
+statistic separately for four areas defined by probe density:
+
+- **EMEA** — Europe, the Middle East, and Africa;
+- **NA** — North America excluding Central America;
+- **LatAm** — South America plus Central America (and the Caribbean);
+- **APAC** — the rest of the globe.
+
+The paper stresses that this split is a property of *probe locations* and is
+independent of any CDN's region partition; we keep that separation here —
+CDN regions live in :mod:`repro.cdn`, probe areas live here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geo.countries import MIDDLE_EAST, Continent, continent_of
+
+
+class Area(enum.Enum):
+    """One of the paper's four reporting areas."""
+
+    EMEA = "EMEA"
+    NA = "NA"
+    LATAM = "LatAm"
+    APAC = "APAC"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: All areas in the order the paper's tables list them.
+AREAS: tuple[Area, ...] = (Area.APAC, Area.EMEA, Area.NA, Area.LATAM)
+
+#: Countries in continent-NA that the paper keeps in its "NA" area
+#: ("North America, excluding countries in Central America").
+_NA_AREA_COUNTRIES = frozenset({"US", "CA"})
+
+
+def area_of_country(country: str) -> Area:
+    """Classify a country into the paper's four probe areas.
+
+    Mirrors §3.1: Russia counts as EMEA (its probes appear in the paper's
+    EMEA statistics), Mexico / Central America / the Caribbean count as
+    LatAm, and everything that is neither EMEA, NA, nor LatAm is APAC.
+    """
+    continent = continent_of(country)
+    if continent in (Continent.EUROPE, Continent.AFRICA):
+        return Area.EMEA
+    if country in MIDDLE_EAST:
+        return Area.EMEA
+    if continent is Continent.NORTH_AMERICA:
+        return Area.NA if country in _NA_AREA_COUNTRIES else Area.LATAM
+    if continent is Continent.SOUTH_AMERICA:
+        return Area.LATAM
+    # Remaining: Asia (non-Middle-East) and Oceania.
+    return Area.APAC

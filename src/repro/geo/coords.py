@@ -1,0 +1,138 @@
+"""Coordinates, great-circle distance, and the fiber latency model.
+
+The paper calibrates RTT-to-distance with the rule of thumb that "the
+speed-of-light latency in fiber is roughly 100 km per 1 ms RTT" (§4.4,
+Appendix B).  We adopt exactly that constant so distance thresholds in the
+reproduction (e.g. the 1.5 ms RTT-range geolocation threshold) carry the
+same physical meaning as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Mean Earth radius in kilometres (IUGG value, rounded).
+EARTH_RADIUS_KM = 6371.0
+
+#: Kilometres of fiber covered per millisecond of *round-trip* time.
+#: This is the paper's calibration: ~100 km per 1 ms RTT, i.e. ~200 km of
+#: one-way propagation per millisecond of RTT divided by the path stretch.
+FIBER_KM_PER_MS_RTT = 100.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface, in decimal degrees.
+
+    Latitude is positive north, longitude positive east.  The class is
+    hashable and immutable so it can be used as a dictionary key (e.g. when
+    deduplicating PoPs in the same city).
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon!r}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self, other)
+
+    def rtt_ms(self, other: "GeoPoint") -> float:
+        """Speed-of-light-in-fiber round-trip time to ``other``."""
+        return min_rtt_ms(great_circle_km(self, other))
+
+    def unit_vector(self) -> tuple[float, float, float]:
+        """The point as a 3-D unit vector (used by spherical K-Means)."""
+        lat_r = math.radians(self.lat)
+        lon_r = math.radians(self.lon)
+        cos_lat = math.cos(lat_r)
+        return (cos_lat * math.cos(lon_r), cos_lat * math.sin(lon_r), math.sin(lat_r))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"{abs(self.lat):.2f}{ns},{abs(self.lon):.2f}{ew}"
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, via the haversine formula.
+
+    The haversine formulation is numerically stable for both antipodal and
+    nearly-identical points, which matters because the simulator frequently
+    measures distances between co-located elements (probe and on-site
+    router) as well as transoceanic paths.
+    """
+    if a == b:
+        return 0.0
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    # Guard against floating error pushing h epsilon above 1.
+    h = min(1.0, h)
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def min_rtt_ms(distance_km: float) -> float:
+    """The physical lower bound on RTT for a given fiber distance.
+
+    Uses the paper's 100 km-per-ms-RTT calibration.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km!r}")
+    return distance_km / FIBER_KM_PER_MS_RTT
+
+
+def propagation_delay_ms(a: GeoPoint, b: GeoPoint) -> float:
+    """One-way propagation delay between two points, in milliseconds.
+
+    One-way delay is half the round-trip lower bound; paths in the simulator
+    are symmetric, so ``2 * propagation_delay_ms(a, b) == a.rtt_ms(b)``.
+    """
+    return min_rtt_ms(great_circle_km(a, b)) / 2.0
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Spherical midpoint of two points (used for synthetic link routers)."""
+    ax, ay, az = a.unit_vector()
+    bx, by, bz = b.unit_vector()
+    mx, my, mz = ax + bx, ay + by, az + bz
+    norm = math.sqrt(mx * mx + my * my + mz * mz)
+    if norm < 1e-12:
+        # Antipodal points: midpoint is undefined; pick the first point's
+        # meridian crossing as a deterministic fallback.
+        return GeoPoint(0.0, a.lon)
+    mx, my, mz = mx / norm, my / norm, mz / norm
+    lat = math.degrees(math.asin(max(-1.0, min(1.0, mz))))
+    lon = math.degrees(math.atan2(my, mx))
+    return GeoPoint(lat, lon)
+
+
+def centroid(points: list[GeoPoint]) -> GeoPoint:
+    """Spherical centroid of a list of points.
+
+    Used by the ReOpt K-Means partitioner (§6.1) when recomputing cluster
+    centres from site coordinates.
+    """
+    if not points:
+        raise ValueError("centroid of empty point list is undefined")
+    sx = sy = sz = 0.0
+    for p in points:
+        x, y, z = p.unit_vector()
+        sx += x
+        sy += y
+        sz += z
+    norm = math.sqrt(sx * sx + sy * sy + sz * sz)
+    if norm < 1e-12:
+        return GeoPoint(0.0, 0.0)
+    sx, sy, sz = sx / norm, sy / norm, sz / norm
+    lat = math.degrees(math.asin(max(-1.0, min(1.0, sz))))
+    lon = math.degrees(math.atan2(sy, sx))
+    return GeoPoint(lat, lon)

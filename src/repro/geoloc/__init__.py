@@ -1,0 +1,34 @@
+"""IP geolocation: ground truth, error-prone databases, and rDNS hints.
+
+Three layers, mirroring how the paper's Appendix-B pipeline sees the world:
+
+- :mod:`repro.geoloc.oracle` — the simulator's **ground truth**: every
+  address (router interface, IXP LAN, probe host, service prefix) maps to
+  its true location and owner.  Analysis code never touches this directly;
+  it goes through the next two layers, which add realistic error.
+- :mod:`repro.geoloc.database` — synthetic geolocation **databases**
+  (MaxMind / ipinfo / EdgeScape stand-ins) with independent, seeded error
+  models: country errors, home-country bias for international providers
+  (§4.3's "probes whose IPs belong to international transit providers are
+  often geolocated to their home countries"), and coordinate fuzz.
+- :mod:`repro.geoloc.rdns` — **reverse-DNS** name synthesis embedding
+  IATA-style geo-hints with configurable coverage, plus the hint parser
+  the site-mapping pipeline runs first.
+"""
+
+from repro.geoloc.database import GeoDatabase, GeoDbParams, GeoRecord, default_databases
+from repro.geoloc.oracle import AddressAttribution, AddressKind, GeoOracle
+from repro.geoloc.rdns import ReverseDNS, parse_cctld, parse_geo_hint
+
+__all__ = [
+    "AddressAttribution",
+    "AddressKind",
+    "GeoDatabase",
+    "GeoDbParams",
+    "GeoOracle",
+    "GeoRecord",
+    "ReverseDNS",
+    "default_databases",
+    "parse_cctld",
+    "parse_geo_hint",
+]

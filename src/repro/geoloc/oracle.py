@@ -1,0 +1,131 @@
+"""Ground-truth address attribution.
+
+The oracle knows where every simulated address really is.  It is the
+substrate under the *error-prone* geolocation databases and under DNS
+geo-mapping; experiment analysis code follows the paper's methodology and
+only consults the databases, rDNS, and measurements — never the oracle —
+except where the paper itself uses ground truth (probe built-in geocodes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geo.atlas import City
+from repro.geo.coords import GeoPoint
+from repro.measurement.probes import ProbePopulation
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.topology.graph import Topology
+
+
+class AddressKind(enum.Enum):
+    """What a simulated address belongs to."""
+
+    ROUTER = "router"  # interface in an AS's infrastructure space
+    IXP_LAN = "ixp-lan"  # interface on an IXP peering LAN
+    PROBE = "probe"  # a probe's host address
+    HOST_SUBNET = "host-subnet"  # an address in a stub's host space
+    SERVICE = "service"  # an anycast service prefix address
+
+
+@dataclass(frozen=True)
+class AddressAttribution:
+    """Ground truth for one address."""
+
+    addr: IPv4Address
+    kind: AddressKind
+    country: str
+    location: GeoPoint
+    #: Topology node owning the address (IXP-LAN addresses attribute to the
+    #: interface's node; service addresses to the announcement's first
+    #: origin; host addresses to the stub AS).
+    owner_node: int | None
+    #: The owner's registered home country — what lazy geolocation data
+    #: often reports for infrastructure deployed abroad.
+    owner_home_country: str | None
+    city: City | None = None
+    ixp_id: int | None = None
+
+
+class GeoOracle:
+    """Resolves any simulated address to its ground truth."""
+
+    def __init__(self, topology: Topology, probes: ProbePopulation | None = None):
+        self._topology = topology
+        self._probes = probes
+        # Host-subnet index: /24 -> (as_node, city) for every probe subnet,
+        # used to attribute ECS client subnets.
+        self._subnets: dict[IPv4Prefix, tuple[int, City]] = {}
+        if probes is not None:
+            for as_node, prefix in probes.host_prefixes().items():
+                city = topology.node(as_node).pops[0].city
+                for subnet in prefix.subnets(24):
+                    self._subnets[subnet] = (as_node, city)
+
+    # ------------------------------------------------------------------
+    def attribute(self, addr: IPv4Address) -> AddressAttribution | None:
+        """Ground truth for an address, or None for unknown space."""
+        info = self._topology.interface_info(addr)
+        if info is not None:
+            node = self._topology.node(info.node_id)
+            kind = AddressKind.IXP_LAN if info.ixp_id is not None else AddressKind.ROUTER
+            return AddressAttribution(
+                addr=addr,
+                kind=kind,
+                country=info.city.country,
+                location=info.city.location,
+                owner_node=info.node_id,
+                owner_home_country=node.home_country,
+                city=info.city,
+                ixp_id=info.ixp_id,
+            )
+        if self._probes is not None:
+            probe = self._probes.probe_by_addr(addr)
+            if probe is not None:
+                node = self._topology.node(probe.as_node)
+                return AddressAttribution(
+                    addr=addr,
+                    kind=AddressKind.PROBE,
+                    country=probe.country,
+                    location=probe.location,
+                    owner_node=probe.as_node,
+                    owner_home_country=node.home_country,
+                    city=None,
+                )
+            subnet = IPv4Prefix(addr.value & ~0xFF, 24)
+            owner = self._subnets.get(subnet)
+            if owner is not None:
+                as_node, city = owner
+                node = self._topology.node(as_node)
+                return AddressAttribution(
+                    addr=addr,
+                    kind=AddressKind.HOST_SUBNET,
+                    country=city.country,
+                    location=city.location,
+                    owner_node=as_node,
+                    owner_home_country=node.home_country,
+                    city=city,
+                )
+        return None
+
+    def attribute_subnet(self, subnet: IPv4Prefix) -> AddressAttribution | None:
+        """Ground truth for a client /24 (as carried in EDNS Client Subnet)."""
+        owner = self._subnets.get(subnet)
+        if owner is None:
+            return None
+        as_node, city = owner
+        node = self._topology.node(as_node)
+        return AddressAttribution(
+            addr=subnet.network_address,
+            kind=AddressKind.HOST_SUBNET,
+            country=city.country,
+            location=city.location,
+            owner_node=as_node,
+            owner_home_country=node.home_country,
+            city=city,
+        )
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology

@@ -1,0 +1,165 @@
+"""Reverse-DNS name synthesis and geo-hint parsing.
+
+Operators name router interfaces with embedded location codes; the paper's
+site-mapping pipeline reads them first (Appendix B: "operator-defined
+codes, IATA/ICAO codes, or CLLI code").  The simulator reproduces the
+ecosystem's messiness:
+
+- each AS consistently uses one naming *style*: IATA codes (parsable),
+  CLLI-like six-letter codes (parsable), or opaque operator codes
+  (unparsable — the pipeline must fall through to RTT-range);
+- a per-kind fraction of interfaces simply has no PTR record;
+- some ASes hang their routers under a country-code TLD, enabling the
+  pipeline's ccTLD fallback.
+
+Name shape: ``ae-<n>.cr<m>.<geohint><k>.as<asn>.<tld>`` for AS
+infrastructure and ``as<asn>.ix-<iata>.<tld>`` on IXP peering LANs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.geo.atlas import City, WorldAtlas
+from repro.geoloc.oracle import AddressKind, GeoOracle
+from repro.netaddr.ipv4 import IPv4Address
+
+#: Consonant pool for opaque operator codes (never matches IATA or CLLI).
+_OPAQUE_LETTERS = "bcdfghjklmnpqrstvwxz"
+
+
+def clli_code(city: City) -> str:
+    """A CLLI-like six-letter code: four city letters + two country letters.
+
+    Example: Amsterdam, NL → ``amstnl``.
+    """
+    compact = "".join(ch for ch in city.name.lower() if ch.isalpha())
+    return (compact + "xxxx")[:4] + city.country.lower()
+
+
+@dataclass(frozen=True)
+class RdnsParams:
+    """Coverage and style mix of the rDNS ecosystem."""
+
+    #: PTR coverage per address kind.
+    router_coverage: float = 0.80
+    ixp_lan_coverage: float = 0.55
+    #: Style mix across ASes (cumulative: iata, then clli, rest opaque).
+    iata_style_fraction: float = 0.62
+    clli_style_fraction: float = 0.16
+    #: Probability an AS's router domain sits under its country's ccTLD.
+    cctld_fraction: float = 0.30
+
+
+class ReverseDNS:
+    """Deterministic PTR records for simulated infrastructure addresses."""
+
+    def __init__(self, oracle: GeoOracle, params: RdnsParams | None = None, seed: int = 0):
+        self._oracle = oracle
+        self.params = params or RdnsParams()
+        self._seed = seed
+
+    def _hash01(self, *parts: object) -> float:
+        digest = hashlib.sha256(
+            "|".join(str(p) for p in ("rdns", self._seed, *parts)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _style_of(self, node_id: int) -> str:
+        # CDN operators name site routers with airport codes (the paper's
+        # example: ae-65.core1.amb.edgecastcdn.net), so anycast site nodes
+        # always use the parsable IATA style.
+        from repro.topology.asys import Tier
+
+        if self._oracle.topology.node(node_id).tier is Tier.CDN:
+            return "iata"
+        u = self._hash01("style", node_id)
+        if u < self.params.iata_style_fraction:
+            return "iata"
+        if u < self.params.iata_style_fraction + self.params.clli_style_fraction:
+            return "clli"
+        return "opaque"
+
+    def _tld_of(self, node_id: int, home_country: str | None) -> str:
+        if home_country and self._hash01("tld", node_id) < self.params.cctld_fraction:
+            return home_country.lower()
+        return "net"
+
+    def _opaque_token(self, node_id: int, city: City) -> str:
+        token = []
+        for i in range(4):
+            u = self._hash01("opaque", node_id, city.iata, i)
+            token.append(_OPAQUE_LETTERS[int(u * len(_OPAQUE_LETTERS)) % len(_OPAQUE_LETTERS)])
+        return "".join(token)
+
+    # ------------------------------------------------------------------
+    def name_of(self, addr: IPv4Address) -> str | None:
+        """The PTR record for an interface address, or None."""
+        truth = self._oracle.attribute(addr)
+        if truth is None or truth.city is None:
+            return None
+        node = self._oracle.topology.node(truth.owner_node)
+        if truth.kind is AddressKind.IXP_LAN:
+            if self._hash01("covered", addr) >= self.params.ixp_lan_coverage:
+                return None
+            ixp = self._oracle.topology.ixp(truth.ixp_id)
+            return f"as{node.asn}.ix-{ixp.city.iata.lower()}.net"
+        if truth.kind is not AddressKind.ROUTER:
+            return None
+        if self._hash01("covered", addr) >= self.params.router_coverage:
+            return None
+        style = self._style_of(node.node_id)
+        if style == "iata":
+            hint = truth.city.iata.lower()
+        elif style == "clli":
+            hint = clli_code(truth.city)
+        else:
+            hint = self._opaque_token(node.node_id, truth.city)
+        unit = 1 + int(self._hash01("unit", addr) * 64)
+        router = 1 + int(self._hash01("router", addr) * 4)
+        pop_idx = 1 + int(self._hash01("pop", addr) * 3)
+        tld = self._tld_of(node.node_id, node.home_country)
+        return f"ae-{unit}.cr{router}.{hint}{pop_idx}.as{node.asn}.{tld}"
+
+
+def _candidate_tokens(name: str) -> list[str]:
+    tokens: list[str] = []
+    for label in name.lower().split("."):
+        for part in label.split("-"):
+            stripped = part.rstrip("0123456789")
+            if stripped:
+                tokens.append(stripped)
+    return tokens
+
+
+def parse_geo_hint(name: str, atlas: WorldAtlas) -> City | None:
+    """Extract a city-level geo-hint from an rDNS name.
+
+    Tries IATA codes first, then CLLI-like codes; returns None when no
+    token matches (opaque operator codes and hintless names).
+    """
+    tokens = _candidate_tokens(name)
+    clli_index: dict[str, City] | None = None
+    for token in tokens:
+        if len(token) == 3 and token.upper() in atlas:
+            return atlas.get(token.upper())
+    for token in tokens:
+        if len(token) == 6:
+            if clli_index is None:
+                clli_index = {clli_code(c): c for c in atlas}
+            city = clli_index.get(token)
+            if city is not None:
+                return city
+    return None
+
+
+def parse_cctld(name: str) -> str | None:
+    """The country implied by a name's ccTLD, or None for gTLDs."""
+    tld = name.rsplit(".", 1)[-1].lower()
+    if len(tld) != 2:
+        return None
+    from repro.geo.countries import is_country
+
+    code = tld.upper()
+    return code if is_country(code) else None

@@ -1,0 +1,34 @@
+"""A RIPE-Atlas-like measurement platform over the simulated Internet.
+
+The paper's estimator pipeline (§3.1) is reproduced end to end:
+
+- a globally distributed **probe population** with the paper's per-area
+  densities, including probes with unreliable user-reported geocodes and
+  probes without stability tags (both filtered before analysis);
+- a **measurement engine** able to run ping, traceroute, and DNS
+  resolution from any probe, with deterministic last-mile latency and
+  per-(probe, target) jitter;
+- **probe grouping** by ``<city, AS>`` with group-median aggregation, the
+  unit every CDF, percentage, and percentile in the paper is computed on.
+"""
+
+from repro.measurement.engine import (
+    MeasurementEngine,
+    PingResult,
+    ServiceRegistry,
+    TracerouteResult,
+)
+from repro.measurement.grouping import ProbeGroup, group_probes
+from repro.measurement.probes import Probe, ProbePopulation, ProbeParams
+
+__all__ = [
+    "MeasurementEngine",
+    "PingResult",
+    "Probe",
+    "ProbeGroup",
+    "ProbePopulation",
+    "ProbeParams",
+    "ServiceRegistry",
+    "TracerouteResult",
+    "group_probes",
+]

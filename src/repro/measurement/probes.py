@@ -1,0 +1,224 @@
+"""Probe model and probe population generation.
+
+Probes mirror the properties of RIPE Atlas probes the paper relies on:
+
+- a **true location** (the probe's built-in geocode) and a **reported
+  location** which may be wrong for a fraction of probes — the paper
+  discards probes "with unreliable geocodes" (§3.1), and we generate such
+  probes so the filter has something to do;
+- a **stability tag** (``system-ipv4-stable-1d``); untagged probes are
+  likewise discarded;
+- a **city code**: the IATA code of the closest atlas city within the
+  probe's country (§3.1's closest-airport rule);
+- an IPv4 address inside its host AS, so DNS ECS and geolocation
+  databases can operate on real client subnets.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.geo.areas import Area, area_of_country
+from repro.geo.atlas import WorldAtlas
+from repro.geo.coords import GeoPoint
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.topology.asys import AutonomousSystem, Tier
+from repro.topology.graph import Topology
+
+#: Per-area probe weights, matching the paper's probe counts
+#: (EMEA 6917, NA 1716, APAC 950, LatAm 177 of 9760 retained probes).
+_AREA_WEIGHTS: tuple[tuple[Area, float], ...] = (
+    (Area.EMEA, 0.709),
+    (Area.NA, 0.176),
+    (Area.APAC, 0.097),
+    (Area.LATAM, 0.018),
+)
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One measurement vantage point."""
+
+    probe_id: int
+    addr: IPv4Address
+    as_node: int
+    country: str
+    #: Built-in geocode — ground truth for distance computations.
+    location: GeoPoint
+    #: User-reported geocode; may disagree with ``location``.
+    reported_location: GeoPoint
+    #: IATA code of the closest same-country atlas city.
+    city_code: str
+    #: Whether the probe carries a stability tag (e.g. system-ipv4-stable-1d).
+    stable: bool
+    #: Whether the reported geocode matches the built-in one.
+    geocode_reliable: bool
+    #: Access-network latency added to every measurement (RTT, ms).
+    last_mile_ms: float
+
+    @property
+    def area(self) -> Area:
+        return area_of_country(self.country)
+
+    @property
+    def client_subnet(self) -> IPv4Prefix:
+        """The /24 announced via EDNS Client Subnet for this probe."""
+        return IPv4Prefix(self.addr.value & ~0xFF, 24)
+
+    @property
+    def usable(self) -> bool:
+        """Whether the probe survives the paper's §3.1 filters."""
+        return self.stable and self.geocode_reliable
+
+
+@dataclass
+class ProbeParams:
+    """Knobs of the probe population generator."""
+
+    seed: int = 7
+    num_probes: int = 3000
+    #: Fraction of probes with an unreliable user-reported geocode.
+    unreliable_geocode_fraction: float = 0.06
+    #: Fraction of probes without a stability tag.
+    unstable_fraction: float = 0.07
+    #: Maximum jitter of a probe around its host AS's metro, in km.
+    location_jitter_km: float = 60.0
+    #: Last-mile RTT range, in ms.
+    last_mile_ms: tuple[float, float] = (1.0, 8.0)
+    area_weights: tuple[tuple[Area, float], ...] = _AREA_WEIGHTS
+
+
+class ProbePopulation:
+    """All probes generated for one topology.
+
+    Probes are hosted in stub ASes; each stub AS receives a /22 host
+    prefix from the shared host pool and numbers its probes out of it, so
+    probe addresses map deterministically back to their AS and metro —
+    which is what geolocation databases (and their error models) consume.
+    """
+
+    def __init__(self, topology: Topology, params: ProbeParams | None = None):
+        self.params = params or ProbeParams()
+        self._topology = topology
+        self._atlas: WorldAtlas = topology.atlas  # type: ignore[attr-defined]
+        self._plan = topology.address_plan  # type: ignore[attr-defined]
+        self._probes: list[Probe] = []
+        self._by_addr: dict[IPv4Address, Probe] = {}
+        self._host_prefixes: dict[int, IPv4Prefix] = {}
+        self._generate()
+
+    # ------------------------------------------------------------------
+    def _generate(self) -> None:
+        rng = random.Random(self.params.seed)
+        stubs_by_area: dict[Area, list[AutonomousSystem]] = {}
+        for node in self._topology.nodes():
+            if node.tier is Tier.STUB:
+                stubs_by_area.setdefault(node.pops[0].city.area, []).append(node)
+        for area_list in stubs_by_area.values():
+            area_list.sort(key=lambda n: n.node_id)
+        next_host: dict[int, int] = {}
+        areas = [a for a, _ in self.params.area_weights]
+        weights = [w for _, w in self.params.area_weights]
+        for probe_id in range(self.params.num_probes):
+            area = rng.choices(areas, weights=weights, k=1)[0]
+            candidates = stubs_by_area.get(area)
+            if not candidates:
+                raise ValueError(f"topology has no stub ASes in {area}")
+            host_as = rng.choice(candidates)
+            city = host_as.pops[0].city
+            location = _jitter(rng, city.location, self.params.location_jitter_km)
+            reliable = rng.random() >= self.params.unreliable_geocode_fraction
+            if reliable:
+                reported = location
+            else:
+                # Unreliable geocodes are typically off by hundreds of km
+                # (default coordinates, stale entries, wrong city).
+                reported = _jitter(rng, city.location, 2500.0, min_km=400.0)
+            stable = rng.random() >= self.params.unstable_fraction
+            prefix = self._host_prefix_for(host_as)
+            offset = next_host.get(host_as.node_id, 1)
+            if offset >= prefix.num_addresses - 1:
+                raise RuntimeError(f"host prefix of AS {host_as.asn} exhausted")
+            next_host[host_as.node_id] = offset + 1
+            addr = prefix.address(offset)
+            nearest = self._atlas.nearest(location, country=city.country)
+            lo, hi = self.params.last_mile_ms
+            probe = Probe(
+                probe_id=probe_id,
+                addr=addr,
+                as_node=host_as.node_id,
+                country=city.country,
+                location=location,
+                reported_location=reported,
+                city_code=nearest.iata,
+                stable=stable,
+                geocode_reliable=reliable,
+                last_mile_ms=rng.uniform(lo, hi),
+            )
+            self._probes.append(probe)
+            self._by_addr[addr] = probe
+
+    def _host_prefix_for(self, host_as: AutonomousSystem) -> IPv4Prefix:
+        prefix = self._host_prefixes.get(host_as.node_id)
+        if prefix is None:
+            prefix = self._plan.hosts.allocate(22)
+            self._host_prefixes[host_as.node_id] = prefix
+        return prefix
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __iter__(self):
+        return iter(self._probes)
+
+    def all_probes(self) -> list[Probe]:
+        return list(self._probes)
+
+    def usable_probes(self) -> list[Probe]:
+        """Probes retained after the paper's §3.1 filtering step."""
+        return [p for p in self._probes if p.usable]
+
+    def probe_by_addr(self, addr: IPv4Address) -> Probe | None:
+        return self._by_addr.get(addr)
+
+    def host_prefix_of(self, as_node: int) -> IPv4Prefix | None:
+        """The host prefix assigned to a stub AS (None if it has no probes)."""
+        return self._host_prefixes.get(as_node)
+
+    def host_prefixes(self) -> dict[int, IPv4Prefix]:
+        """All host prefixes, keyed by hosting AS node id."""
+        return dict(self._host_prefixes)
+
+    def reserve_resolver_addr(self, as_node: int) -> IPv4Address:
+        """A deterministic address for the AS's ISP resolver.
+
+        The last usable address of the AS's host prefix, far from the
+        probe block, so ISP resolvers and probes never collide.
+        """
+        prefix = self._host_prefixes.get(as_node)
+        if prefix is None:
+            prefix = self._plan.hosts.allocate(22)
+            self._host_prefixes[as_node] = prefix
+        return prefix.address(prefix.num_addresses - 2)
+
+    def in_area(self, area: Area) -> list[Probe]:
+        return [p for p in self._probes if p.usable and p.area is area]
+
+
+def _jitter(
+    rng: random.Random, center: GeoPoint, max_km: float, min_km: float = 0.0
+) -> GeoPoint:
+    """A point displaced from ``center`` by [min_km, max_km] kilometres."""
+    if max_km <= 0:
+        return center
+    km = rng.uniform(min_km, max_km)
+    bearing = rng.uniform(0, 2 * math.pi)
+    dlat = (km / 111.0) * math.cos(bearing)
+    cos_lat = max(0.1, math.cos(math.radians(center.lat)))
+    dlon = (km / (111.0 * cos_lat)) * math.sin(bearing)
+    lat = max(-89.9, min(89.9, center.lat + dlat))
+    lon = ((center.lon + dlon + 180.0) % 360.0) - 180.0
+    return GeoPoint(lat, lon)

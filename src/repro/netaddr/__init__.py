@@ -1,0 +1,24 @@
+"""IPv4 addressing: addresses, prefixes, and deterministic allocation.
+
+Anycast is an *addressing* technique, so the simulator models real IPv4
+prefixes rather than abstract identifiers: a regional anycast deployment
+announces concrete /24s, DNS answers carry concrete A records, and the
+survey pipeline (§4.2) counts distinct resolved addresses exactly as the
+paper does.
+
+- :mod:`repro.netaddr.ipv4` — value types for addresses and prefixes with
+  the arithmetic the simulator needs (containment, subnetting, iteration).
+- :mod:`repro.netaddr.allocator` — a deterministic prefix allocator that
+  hands out non-overlapping address space to ASes, anycast deployments,
+  and probe hosts.
+"""
+
+from repro.netaddr.allocator import AddressPlanError, PrefixAllocator
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+__all__ = [
+    "AddressPlanError",
+    "IPv4Address",
+    "IPv4Prefix",
+    "PrefixAllocator",
+]

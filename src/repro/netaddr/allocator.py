@@ -1,0 +1,74 @@
+"""Deterministic, non-overlapping prefix allocation.
+
+Every addressable element in the simulation — AS infrastructure, router
+interfaces, anycast service prefixes, probe hosts — draws its address space
+from a :class:`PrefixAllocator` seeded with one large pool.  Allocation
+order is deterministic, so the same experiment configuration always yields
+the same addresses, which keeps measurement artifacts (traceroute outputs,
+DNS answers) byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+from repro.netaddr.ipv4 import IPv4Prefix
+
+
+class AddressPlanError(RuntimeError):
+    """Raised when an allocator runs out of space or is misused."""
+
+
+class PrefixAllocator:
+    """Carves non-overlapping sub-prefixes out of a pool prefix.
+
+    The allocator is a simple bump allocator with per-length alignment: it
+    always hands out the next aligned block of the requested size.  This
+    wastes a little space when lengths alternate, but the pool (a /8 by
+    default in experiments) is far larger than any experiment needs, and
+    the simplicity makes exhaustion errors obvious.
+    """
+
+    def __init__(self, pool: IPv4Prefix):
+        self._pool = pool
+        self._cursor = pool.network
+        self._end = pool.network + pool.num_addresses
+
+    @property
+    def pool(self) -> IPv4Prefix:
+        return self._pool
+
+    @property
+    def remaining_addresses(self) -> int:
+        return self._end - self._cursor
+
+    def allocate(self, length: int) -> IPv4Prefix:
+        """Allocate the next free, aligned prefix of the given length."""
+        if length < self._pool.length:
+            raise AddressPlanError(
+                f"cannot allocate /{length} from pool {self._pool}"
+            )
+        if length > 32:
+            raise AddressPlanError(f"invalid prefix length: {length}")
+        size = 1 << (32 - length)
+        # Align the cursor up to the block size.
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        if aligned + size > self._end:
+            raise AddressPlanError(
+                f"pool {self._pool} exhausted allocating /{length} "
+                f"({self.remaining_addresses} addresses left)"
+            )
+        self._cursor = aligned + size
+        return IPv4Prefix(aligned, length)
+
+    def allocate_many(self, length: int, count: int) -> list[IPv4Prefix]:
+        """Allocate ``count`` prefixes of the same length."""
+        if count < 0:
+            raise AddressPlanError(f"invalid allocation count: {count}")
+        return [self.allocate(length) for _ in range(count)]
+
+    def subpool(self, length: int) -> "PrefixAllocator":
+        """Allocate a block and return a new allocator managing it.
+
+        Used to give each subsystem (topology, anycast deployments, probes)
+        its own visually distinct address range.
+        """
+        return PrefixAllocator(self.allocate(length))

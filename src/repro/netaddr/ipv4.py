@@ -1,0 +1,156 @@
+"""IPv4 address and prefix value types.
+
+The standard-library :mod:`ipaddress` module is correct but heavyweight for
+the simulator's hot paths (catchment resolution touches every probe × every
+prefix).  These types store addresses as plain integers, are hashable and
+totally ordered, and implement only the operations the simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4Address:
+    """A single IPv4 address, stored as an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= _MAX_IPV4:
+            raise ValueError(f"IPv4 address out of range: {self.value!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"192.0.2.1"``."""
+        return cls(_parse_dotted_quad(text))
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self.value < other.value
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPv4Prefix:
+    """A CIDR prefix, e.g. ``198.51.100.0/24``.
+
+    ``network`` is the (masked) network address as an integer.  Construction
+    validates that no host bits are set so two prefixes covering the same
+    block always compare equal.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"invalid prefix length: {self.length!r}")
+        if not 0 <= self.network <= _MAX_IPV4:
+            raise ValueError(f"network address out of range: {self.network!r}")
+        if self.network & ~self._mask() != 0:
+            raise ValueError(
+                f"host bits set in prefix {IPv4Address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse CIDR notation, e.g. ``"198.51.100.0/24"``."""
+        try:
+            addr_text, length_text = text.split("/")
+        except ValueError:
+            raise ValueError(f"invalid CIDR prefix: {text!r}") from None
+        if not length_text.isdigit():
+            raise ValueError(f"invalid CIDR prefix: {text!r}")
+        return cls(_parse_dotted_quad(addr_text), int(length_text))
+
+    def _mask(self) -> int:
+        if self.length == 0:
+            return 0
+        return (_MAX_IPV4 << (32 - self.length)) & _MAX_IPV4
+
+    @property
+    def network_address(self) -> IPv4Address:
+        return IPv4Address(self.network)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def last(self) -> IPv4Address:
+        """The highest address covered by this prefix."""
+        return IPv4Address(self.network + self.num_addresses - 1)
+
+    def contains(self, item: "IPv4Address | IPv4Prefix") -> bool:
+        """Whether an address or a (sub)prefix falls inside this prefix."""
+        if isinstance(item, IPv4Address):
+            return self.network <= item.value <= self.network + self.num_addresses - 1
+        if isinstance(item, IPv4Prefix):
+            return item.length >= self.length and (item.network & self._mask()) == self.network
+        raise TypeError(f"cannot test containment of {type(item).__name__}")
+
+    def __contains__(self, item: "IPv4Address | IPv4Prefix") -> bool:
+        return self.contains(item)
+
+    def address(self, offset: int) -> IPv4Address:
+        """The address at ``offset`` within the prefix (0 = network address)."""
+        if not 0 <= offset < self.num_addresses:
+            raise IndexError(f"offset {offset} outside {self}")
+        return IPv4Address(self.network + offset)
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """Iterate the subnets of this prefix at ``new_length``."""
+        if new_length < self.length:
+            raise ValueError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        if new_length > 32:
+            raise ValueError(f"invalid subnet length: {new_length}")
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.num_addresses, step):
+            yield IPv4Prefix(network, new_length)
+
+    def overlaps(self, other: "IPv4Prefix") -> bool:
+        """Whether two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def __str__(self) -> str:
+        return f"{self.network_address}/{self.length}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return (self.network, self.length) < (other.network, other.length)

@@ -1,0 +1,66 @@
+"""Ablated routing: hop-count shortest path without BGP policy.
+
+§2.1 attributes catchment inefficiency to *policy* routing.  This module
+removes the policy: routes propagate over every adjacency regardless of
+business relationship and each node keeps the equal-best set by hop count
+alone.  Comparing anycast latency under this engine against the real one
+isolates how much of the inefficiency BGP's preferences cause — the
+"policy on/off" ablation of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.routing.engine import RouteChoice, RoutingTable
+from repro.routing.route import Announcement, PrefTier, Route
+from repro.topology.graph import Topology
+
+
+def compute_shortest_path_table(
+    topology: Topology, announcement: Announcement, max_equal_best: int = 16
+) -> RoutingTable:
+    """Hop-count BFS routing table (no preferences, no export rules)."""
+    prefix = announcement.prefix
+    best: dict[int, RouteChoice] = {}
+    frontier: list[int] = []
+    for spec in announcement.origins:
+        if not topology.has_node(spec.site_node):
+            raise ValueError(f"announcement origin {spec.site_node} not in topology")
+        best[spec.site_node] = RouteChoice(
+            routes=(
+                Route(prefix=prefix, origin=spec.site_node,
+                      path=(spec.site_node,), tier=PrefTier.ORIGIN),
+            )
+        )
+        frontier.append(spec.site_node)
+    while frontier:
+        candidates: dict[int, list[Route]] = {}
+        for u in frontier:
+            route_u = best[u].primary
+            spec = next(
+                (s for s in announcement.origins if s.site_node == u), None
+            )
+            for v in topology.neighbors_of(u):
+                if v in best:
+                    continue
+                if spec is not None and not spec.announces_to(v):
+                    continue
+                if v in route_u.path:
+                    continue
+                candidates.setdefault(v, []).append(
+                    Route(prefix=prefix, origin=route_u.origin,
+                          path=(v,) + route_u.path, tier=PrefTier.CUSTOMER)
+                )
+        frontier = []
+        for v, routes in candidates.items():
+            unique: dict[int, Route] = {}
+            for r in sorted(routes, key=lambda r: (r.next_hop, r.origin)):
+                unique.setdefault(r.next_hop, r)
+            best[v] = RouteChoice(
+                routes=tuple(list(unique.values())[:max_equal_best])
+            )
+            frontier.append(v)
+    table = RoutingTable(
+        announcement=announcement, best=best, topology_version=topology.version
+    )
+    table._num_nodes = topology.num_nodes
+    return table

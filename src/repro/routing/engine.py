@@ -1,0 +1,321 @@
+"""Three-stage BGP route computation with equal-best route sets.
+
+The engine exploits the valley-free structure of Gao-Rexford policies to
+compute every node's selected route(s) in three deterministic passes
+instead of simulating message-level convergence:
+
+1. **Customer routes propagate up.**  A breadth-first sweep from the origin
+   sites along customer→provider edges assigns each node its best
+   customer-learned routes (shortest AS path).
+2. **Peer routes cross one lateral hop.**  Every node holding an origin or
+   customer route exports its primary route to its peers.  Receivers rank
+   public/private peers above route-server peers *before* comparing path
+   lengths — exactly the preference that sends the Belarusian probe of
+   Fig. 7 to Singapore.
+3. **Provider routes propagate down.**  A Dijkstra-style sweep along
+   provider→customer edges delivers routes to everyone else; an AS always
+   exports its overall best route to its customers.
+
+Preference order: highest tier (customer > peer > route-server peer >
+provider), then shortest AS path.  All routes tied on (tier, length) are
+*kept* as an equal-best set: a continent-spanning AS does not choose one
+global exit — each ingress router picks the nearest equally-good exit
+(IGP hot-potato).  :mod:`repro.routing.forwarding` resolves among the
+equal-best sets geographically, per client, which is what makes most
+clients of a global anycast system land on a same-continent site while
+the policy-driven pathological tail (Fig. 1) does not.
+
+The *primary* route of each set (deterministic hot-potato + id
+tie-breaks) is what the node advertises to its neighbors, matching BGP's
+single-best-announcement behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.netaddr.ipv4 import IPv4Prefix
+from repro.routing.route import Announcement, OriginSpec, PrefTier, Route
+from repro.topology.asys import LinkKind
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class RouteChoice:
+    """The equal-best routes of one node for one prefix.
+
+    All member routes share the same preference tier and AS-path length;
+    ``routes[0]`` is the primary (advertised) route.
+    """
+
+    routes: tuple[Route, ...]
+
+    def __post_init__(self) -> None:
+        if not self.routes:
+            raise ValueError("a route choice cannot be empty")
+        tiers = {r.tier for r in self.routes}
+        hops = {r.hops for r in self.routes}
+        if len(tiers) != 1 or len(hops) != 1:
+            raise ValueError("equal-best routes must share tier and length")
+
+    @property
+    def primary(self) -> Route:
+        return self.routes[0]
+
+    @property
+    def tier(self) -> PrefTier:
+        return self.routes[0].tier
+
+    @property
+    def hops(self) -> int:
+        return self.routes[0].hops
+
+    def next_hops(self) -> tuple[int, ...]:
+        return tuple(r.next_hop for r in self.routes)
+
+
+@dataclass
+class RoutingTable:
+    """Best route set per node for one announcement."""
+
+    announcement: Announcement
+    best: dict[int, RouteChoice]
+    topology_version: int
+
+    @property
+    def prefix(self) -> IPv4Prefix:
+        return self.announcement.prefix
+
+    def choice_at(self, node_id: int) -> RouteChoice | None:
+        """The equal-best route set at a node, or None if unreachable."""
+        return self.best.get(node_id)
+
+    def route_at(self, node_id: int) -> Route | None:
+        """The primary (advertised) route at a node, or None."""
+        choice = self.best.get(node_id)
+        return choice.primary if choice is not None else None
+
+    def catchment_of(self, node_id: int) -> int | None:
+        """Origin site of the node's primary route.
+
+        Note that the *realised* catchment of a client inside the node may
+        differ when hot-potato forwarding picks an alternate equal-best
+        exit; use the measurement layer for client-level catchments.
+        """
+        route = self.route_at(node_id)
+        return route.origin if route is not None else None
+
+    def reachable_fraction(self) -> float:
+        """Fraction of nodes holding a route (global reachability, §4.5)."""
+        if self._num_nodes <= 0:
+            return 0.0
+        return len(self.best) / self._num_nodes
+
+    # populated by the engine so reachable_fraction has a denominator
+    _num_nodes: int = 0
+
+
+class RoutingEngine:
+    """Computes and caches routing tables over one topology."""
+
+    #: Upper bound on stored equal-best routes per node; forwarding only
+    #: needs enough diversity to pick a nearby exit.
+    MAX_EQUAL_BEST = 16
+
+    def __init__(self, topology: Topology):
+        self._topology = topology
+        self._cache: dict[tuple[Announcement, int], RoutingTable] = {}
+        self._exit_km_cache: dict[tuple[int, int], float] = {}
+        self._exit_km_version = topology.version
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def compute(self, announcement: Announcement) -> RoutingTable:
+        """Routing table for an announcement (cached per topology version)."""
+        key = (announcement, self._topology.version)
+        table = self._cache.get(key)
+        if table is None:
+            table = self._compute(announcement)
+            self._cache[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    def _exit_km(self, node_id: int, neighbor_id: int) -> float:
+        """Deterministic hot-potato metric for primary-route selection:
+        km from the node's nearest PoP to the closest interconnect of its
+        link toward ``neighbor_id``."""
+        if self._exit_km_version != self._topology.version:
+            self._exit_km_cache.clear()
+            self._exit_km_version = self._topology.version
+        key = (node_id, neighbor_id)
+        cached = self._exit_km_cache.get(key)
+        if cached is not None:
+            return cached
+        link = self._topology.link_between(node_id, neighbor_id)
+        pops = self._topology.node(node_id).pops
+        km = min(
+            ic.city.location.distance_km(pop.city.location)
+            for ic in link.interconnects
+            for pop in pops
+        )
+        km = round(km, 3)
+        self._exit_km_cache[key] = km
+        return km
+
+    def _rank_key(self, node: int, route: Route) -> tuple[float, int, int]:
+        """Ordering of routes *within* one equal-best set."""
+        return (self._exit_km(node, route.next_hop), route.next_hop, route.origin)
+
+    def _make_choice(self, node: int, routes: list[Route]) -> RouteChoice:
+        ordered = sorted(routes, key=lambda r: self._rank_key(node, r))
+        return RouteChoice(routes=tuple(ordered[: self.MAX_EQUAL_BEST]))
+
+    # ------------------------------------------------------------------
+    def _compute(self, announcement: Announcement) -> RoutingTable:
+        topo = self._topology
+        prefix = announcement.prefix
+        origin_spec: dict[int, OriginSpec] = {
+            spec.site_node: spec for spec in announcement.origins
+        }
+        for site in origin_spec:
+            if not topo.has_node(site):
+                raise ValueError(f"announcement origin {site} not in topology")
+
+        best: dict[int, RouteChoice] = {
+            site: RouteChoice(
+                routes=(
+                    Route(prefix=prefix, origin=site, path=(site,),
+                          tier=PrefTier.ORIGIN),
+                )
+            )
+            for site in origin_spec
+        }
+
+        def may_export(exporter: int, neighbor: int) -> bool:
+            spec = origin_spec.get(exporter)
+            return spec is None or spec.announces_to(neighbor)
+
+        # --- Stage 1: customer routes up ------------------------------
+        frontier = list(origin_spec)
+        while frontier:
+            candidates: dict[int, list[Route]] = {}
+            for u in frontier:
+                route_u = best[u].primary
+                for p in topo.providers_of(u):
+                    if p in best or not may_export(u, p):
+                        continue
+                    if p in route_u.path:
+                        continue
+                    candidates.setdefault(p, []).append(
+                        Route(
+                            prefix=prefix,
+                            origin=route_u.origin,
+                            path=(p,) + route_u.path,
+                            tier=PrefTier.CUSTOMER,
+                        )
+                    )
+            frontier = []
+            for p, routes in candidates.items():
+                # BFS level fixes the hop count, so all are equal-best.
+                best[p] = self._make_choice(p, routes)
+                frontier.append(p)
+
+        # --- Stage 2: peer routes, one lateral hop ---------------------
+        peer_candidates: dict[int, list[Route]] = {}
+        for u, choice_u in best.items():
+            route_u = choice_u.primary
+            for v, kind in topo.peers_of(u):
+                if v in best or not may_export(u, v):
+                    continue
+                if v in route_u.path:
+                    continue
+                tier = (
+                    PrefTier.RS_PEER
+                    if kind is LinkKind.PEER_ROUTE_SERVER
+                    else PrefTier.PEER
+                )
+                peer_candidates.setdefault(v, []).append(
+                    Route(
+                        prefix=prefix,
+                        origin=route_u.origin,
+                        path=(v,) + route_u.path,
+                        tier=tier,
+                    )
+                )
+        for v, routes in peer_candidates.items():
+            top_tier = max(r.tier for r in routes)
+            tiered = [r for r in routes if r.tier is top_tier]
+            min_hops = min(r.hops for r in tiered)
+            equal = [r for r in tiered if r.hops == min_hops]
+            best[v] = self._make_choice(v, equal)
+
+        # --- Stage 3: provider routes down ------------------------------
+        heap: list[tuple[int, float, int, int, int]] = []
+        route_of_entry: dict[tuple[int, float, int, int, int], Route] = {}
+
+        def push(candidate: Route, via: int) -> None:
+            entry = (
+                candidate.hops,
+                self._exit_km(candidate.holder, via),
+                via,
+                candidate.origin,
+                candidate.holder,
+            )
+            route_of_entry[entry] = candidate
+            heapq.heappush(heap, entry)
+
+        for u, choice_u in best.items():
+            route_u = choice_u.primary
+            for c in topo.customers_of(u):
+                if c in best or not may_export(u, c):
+                    continue
+                if c in route_u.path:
+                    continue
+                push(
+                    Route(prefix=prefix, origin=route_u.origin,
+                          path=(c,) + route_u.path, tier=PrefTier.PROVIDER),
+                    via=u,
+                )
+        provider_routes: dict[int, list[Route]] = {}
+        provider_hops: dict[int, int] = {}
+        while heap:
+            entry = heapq.heappop(heap)
+            cand = route_of_entry.pop(entry)
+            node = cand.holder
+            if node in best:
+                continue
+            assigned = provider_hops.get(node)
+            if assigned is None:
+                # First (best) provider route: assign and export onward.
+                provider_hops[node] = cand.hops
+                provider_routes[node] = [cand]
+                for c in topo.customers_of(node):
+                    if c in best or c in cand.path:
+                        continue
+                    push(
+                        Route(prefix=prefix, origin=cand.origin,
+                              path=(c,) + cand.path, tier=PrefTier.PROVIDER),
+                        via=node,
+                    )
+            elif cand.hops == assigned:
+                # Equal-best alternate via a different neighbor.
+                existing = provider_routes[node]
+                if (
+                    len(existing) < self.MAX_EQUAL_BEST
+                    and all(r.next_hop != cand.next_hop for r in existing)
+                ):
+                    existing.append(cand)
+            # Longer provider routes are simply ignored.
+        for node, routes in provider_routes.items():
+            best[node] = self._make_choice(node, routes)
+
+        table = RoutingTable(
+            announcement=announcement,
+            best=best,
+            topology_version=topo.version,
+        )
+        table._num_nodes = topo.num_nodes
+        return table

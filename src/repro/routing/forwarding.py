@@ -1,0 +1,171 @@
+"""From routing tables to geographic forwarding paths and latency.
+
+The routing engine leaves each node with an *equal-best set* of routes
+(same preference tier, same AS-path length).  Which member carries a given
+packet is decided hop by hop, geographically: the ingress point picks the
+equally-good exit nearest its current location (IGP hot-potato), crosses
+the chosen adjacency at its nearest interconnect, and repeats at the next
+AS.  Path length strictly decreases at every step, so the walk always
+terminates at an origin site.
+
+Latency follows the paper's calibration: 100 km of great-circle fiber path
+per 1 ms of RTT, plus per-interconnect extra latency (queueing/processing,
+sampled at build time) and the client's last-mile latency.
+
+The *penultimate hop* (p-hop) the measurement pipeline geolocates is the
+ingress interface of the destination site at the final interconnect —
+which lives in CDN infrastructure space for transit/private links but in
+IXP space for IXP sessions, reproducing the "p-hop belongs to an IXP and
+is invisible in BGP" population of §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.atlas import City
+from repro.geo.coords import FIBER_KM_PER_MS_RTT, GeoPoint
+from repro.netaddr.ipv4 import IPv4Address
+from repro.routing.engine import RoutingTable
+from repro.routing.route import PrefTier, Route
+from repro.topology.asys import Interconnect, Link
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traceroute-visible router on a forwarding path."""
+
+    addr: IPv4Address
+    node_id: int
+    city: City
+    ixp_id: int | None
+    #: Cumulative RTT from the client to this hop, in milliseconds.
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class ForwardingPath:
+    """The realised path of one client's traffic toward a prefix."""
+
+    #: Node-level path actually taken, client AS first, origin site last.
+    node_path: tuple[int, ...]
+    #: The origin site node the traffic lands on (the catchment).
+    origin: int
+    hops: tuple[Hop, ...]
+    #: Total RTT from the client to the destination, in milliseconds.
+    rtt_ms: float
+    #: Total great-circle distance walked, in kilometres.
+    distance_km: float
+    #: The destination site's city.
+    dest_city: City
+
+    @property
+    def penultimate_hop(self) -> Hop | None:
+        """The last router before the destination (None for on-net clients)."""
+        return self.hops[-1] if self.hops else None
+
+    @property
+    def as_hops(self) -> int:
+        return len(self.node_path) - 1
+
+
+def nearest_interconnect(link: Link, point: GeoPoint) -> Interconnect:
+    """The link interconnect geographically nearest ``point``."""
+    return min(
+        link.interconnects,
+        key=lambda ic: (ic.city.location.distance_km(point), str(ic.addr_a)),
+    )
+
+
+def site_city(topology: Topology, node_id: int) -> City:
+    """The city of a (single-PoP) site node; first PoP for multi-PoP nodes."""
+    return topology.node(node_id).pops[0].city
+
+
+def _pick_exit(
+    topology: Topology, node: int, routes: tuple[Route, ...], point: GeoPoint
+) -> tuple[Route, Interconnect]:
+    """Hot-potato choice among equal-best routes at one node."""
+    best: tuple[float, int, Route, Interconnect] | None = None
+    for route in routes:
+        link = topology.link_between(node, route.next_hop)
+        ic = nearest_interconnect(link, point)
+        km = ic.city.location.distance_km(point)
+        key = (km, route.next_hop)
+        if best is None or key < (best[0], best[1]):
+            best = (km, route.next_hop, route, ic)
+    assert best is not None  # routes is non-empty by RouteChoice invariant
+    return best[2], best[3]
+
+
+def trace_forwarding_path(
+    topology: Topology,
+    table: RoutingTable,
+    start_node: int,
+    start_point: GeoPoint,
+    last_mile_ms: float = 0.0,
+    primary_only: bool = False,
+) -> ForwardingPath | None:
+    """Walk a client's traffic from ``start_node`` to its catchment site.
+
+    Returns None when the client's AS holds no route to the prefix.
+    ``last_mile_ms`` is the client's access latency (RTT), added once.
+    The returned hops are the ingress interfaces of each successive node,
+    which is what traceroute shows.
+
+    ``primary_only`` disables per-ingress hot-potato resolution: every
+    node forwards along its single advertised (primary) route, as a
+    one-route-per-AS model would.  It exists for the ablation that
+    quantifies how much the equal-best/hot-potato model matters (see
+    ``docs/modeling.md`` §3); leave it off for faithful behaviour.
+    """
+    if last_mile_ms < 0:
+        raise ValueError(f"last-mile latency must be non-negative: {last_mile_ms!r}")
+    if table.choice_at(start_node) is None:
+        return None
+    node = start_node
+    point = start_point
+    total_km = 0.0
+    extra_ms = last_mile_ms
+    node_path = [start_node]
+    hops: list[Hop] = []
+    while True:
+        choice = table.choice_at(node)
+        if choice is None:  # pragma: no cover - engine guarantees continuity
+            return None
+        if choice.tier is PrefTier.ORIGIN:
+            break
+        if primary_only:
+            route = choice.primary
+            ic = nearest_interconnect(
+                topology.link_between(node, route.next_hop), point
+            )
+        else:
+            route, ic = _pick_exit(topology, node, choice.routes, point)
+        link = topology.link_between(node, route.next_hop)
+        total_km += point.distance_km(ic.city.location)
+        point = ic.city.location
+        extra_ms += ic.extra_ms
+        node = route.next_hop
+        node_path.append(node)
+        hops.append(
+            Hop(
+                addr=link.addr_of(node, ic),
+                node_id=node,
+                city=ic.city,
+                ixp_id=link.ixp_id,
+                rtt_ms=total_km / FIBER_KM_PER_MS_RTT + extra_ms,
+            )
+        )
+    dest = site_city(topology, node)
+    total_km += point.distance_km(dest.location)
+    rtt_ms = total_km / FIBER_KM_PER_MS_RTT + extra_ms
+    return ForwardingPath(
+        node_path=tuple(node_path),
+        origin=node,
+        hops=tuple(hops),
+        rtt_ms=rtt_ms,
+        distance_km=total_km,
+        dest_city=dest,
+    )

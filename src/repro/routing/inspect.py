@@ -1,0 +1,93 @@
+"""A looking glass over computed routing tables.
+
+Operators debug anycast with route-server looking glasses (the paper
+cites DE-CIX's, Fig. 7); this module gives the simulator one: render the
+BGP view of any AS for any prefix — selected route, equal-best
+alternates, preference tiers, and the named AS path — plus a catchment
+summary over a whole table.  Used by examples and invaluable when
+debugging why a probe lands where it does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.routing.engine import RoutingTable
+from repro.routing.route import PrefTier, Route
+from repro.topology.graph import Topology
+
+
+def _named_path(topology: Topology, route: Route) -> str:
+    return " ".join(topology.node(n).name for n in route.path)
+
+
+def _relationship(topology: Topology, holder: int, neighbor: int) -> str:
+    if neighbor == holder:
+        return "self"
+    if neighbor in topology.providers_of(holder):
+        return "provider"
+    if neighbor in topology.customers_of(holder):
+        return "customer"
+    for peer, kind in topology.peers_of(holder):
+        if peer == neighbor:
+            return kind.value
+    return "?"
+
+
+def show_route(topology: Topology, table: RoutingTable, node_id: int) -> str:
+    """The looking-glass view of one AS for one prefix."""
+    node = topology.node(node_id)
+    header = f"{node.name} (AS{node.asn}) routes for {table.prefix}:"
+    choice = table.choice_at(node_id)
+    if choice is None:
+        return f"{header}\n  (no route)"
+    lines = [header]
+    for i, route in enumerate(choice.routes):
+        marker = ">" if i == 0 else " "
+        via = _relationship(topology, node_id, route.next_hop)
+        lines.append(
+            f" {marker} path [{_named_path(topology, route)}] "
+            f"tier={route.tier.name.lower()} hops={route.hops} via={via}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CatchmentSummary:
+    """Aggregate catchment view of one routing table."""
+
+    prefix: str
+    #: origin node id → number of ASes whose primary route lands there.
+    as_counts: dict[int, int]
+    unreachable_ases: int
+
+    def render(self, topology: Topology) -> str:
+        lines = [f"catchment of {self.prefix} (by AS primary route):"]
+        total = sum(self.as_counts.values())
+        for origin, count in sorted(self.as_counts.items(),
+                                    key=lambda kv: -kv[1]):
+            name = topology.node(origin).name
+            lines.append(f"  {name:28} {count:5}  ({100 * count / total:.1f}%)")
+        if self.unreachable_ases:
+            lines.append(f"  (unreachable ASes: {self.unreachable_ases})")
+        return "\n".join(lines)
+
+
+def summarize_catchment(
+    topology: Topology, table: RoutingTable
+) -> CatchmentSummary:
+    """Count ASes by the origin site of their primary route."""
+    counts: Counter = Counter()
+    unreachable = 0
+    for node in topology.nodes():
+        choice = table.choice_at(node.node_id)
+        if choice is None:
+            unreachable += 1
+        elif choice.tier is not PrefTier.ORIGIN:
+            counts[choice.primary.origin] += 1
+    return CatchmentSummary(
+        prefix=str(table.prefix),
+        as_counts=dict(counts),
+        unreachable_ases=unreachable,
+    )

@@ -1,0 +1,24 @@
+"""Anycast site enumeration from traceroute penultimate hops.
+
+Reproduces the paper's §4.4 / Appendix-B methodology end to end:
+
+1. traceroute from every probe to the anycast address it received;
+2. geolocate each distinct penultimate hop (p-hop) with a cascade of
+   techniques — rDNS geo-hints (IATA/CLLI, with a ccTLD fallback), the
+   RTT-range technique (a probe within 1.5 ms pins the metro; candidate
+   database locations are filtered by the speed-of-light constraint),
+   and country-level IPGeo consensus across three databases when the
+   provider lists exactly one site in the agreed country;
+3. map each resolved p-hop to the closest published CDN site, yielding
+   the catchment site per probe and the enumerated site set per prefix;
+4. account per-technique fractions of p-hops and traceroutes (Fig. 3).
+"""
+
+from repro.sitemap.pipeline import (
+    PhopResolution,
+    SiteMapper,
+    SiteMappingResult,
+    Technique,
+)
+
+__all__ = ["PhopResolution", "SiteMapper", "SiteMappingResult", "Technique"]

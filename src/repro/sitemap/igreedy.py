@@ -1,0 +1,115 @@
+"""iGreedy: latency-only anycast enumeration and geolocation.
+
+Cicalese et al.'s iGreedy enumerates anycast instances using nothing but
+ping latencies from known vantage points: if two vantage points both
+measure RTTs so small that no single location could serve both without
+violating the speed of light, they must be hitting *different* instances.
+The algorithm greedily collects vantage points with pairwise-disjoint
+latency discs (each disc certifies one distinct instance) and geolocates
+each instance at a populated place inside the disc (we use the closest
+atlas metro, standing in for iGreedy's most-populous-airport rule).
+
+The paper experimented with iGreedy for site enumeration and found it
+"mapped fewer published CDN sites than the method we used" (§7) — nearby
+sites share overlapping discs and collapse into one instance.
+:mod:`repro.experiments.igreedy_compare` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.atlas import City, WorldAtlas
+from repro.geo.coords import FIBER_KM_PER_MS_RTT, GeoPoint
+from repro.measurement.probes import Probe
+
+
+@dataclass(frozen=True)
+class LatencyDisc:
+    """One vantage point's constraint: the instance it reached lies
+    within ``radius_km`` of its location."""
+
+    probe_id: int
+    center: GeoPoint
+    radius_km: float
+
+    def overlaps(self, other: "LatencyDisc") -> bool:
+        return (
+            self.center.distance_km(other.center)
+            <= self.radius_km + other.radius_km
+        )
+
+
+@dataclass(frozen=True)
+class IGreedyInstance:
+    """One enumerated anycast instance."""
+
+    disc: LatencyDisc
+    city: City | None
+
+
+@dataclass(frozen=True)
+class IGreedyResult:
+    instances: tuple[IGreedyInstance, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.instances)
+
+    def cities(self) -> list[City]:
+        return sorted(
+            {i.city.iata: i.city for i in self.instances if i.city is not None}.values(),
+            key=lambda c: c.iata,
+        )
+
+
+def latency_disc(probe: Probe, rtt_ms: float) -> LatencyDisc:
+    """The disc an RTT certifies under the fiber calibration.
+
+    The instance cannot be farther than the distance fiber covers in the
+    measured round trip (minus nothing — conservative), i.e.
+    ``rtt_ms × 100 km``.
+    """
+    if rtt_ms < 0:
+        raise ValueError(f"negative RTT: {rtt_ms!r}")
+    return LatencyDisc(
+        probe_id=probe.probe_id,
+        center=probe.location,
+        radius_km=rtt_ms * FIBER_KM_PER_MS_RTT,
+    )
+
+
+def igreedy_enumerate(
+    probes: list[Probe],
+    rtts: dict[int, float],
+    atlas: WorldAtlas,
+    max_radius_km: float = 5_000.0,
+) -> IGreedyResult:
+    """Enumerate anycast instances from per-probe RTTs.
+
+    Greedy maximum-independent-set over latency discs, smallest radius
+    first (the classic iGreedy order: tight discs carry the most
+    information).  Discs larger than ``max_radius_km`` constrain nothing
+    and are skipped.
+    """
+    discs = sorted(
+        (
+            latency_disc(p, rtts[p.probe_id])
+            for p in probes
+            if p.probe_id in rtts
+        ),
+        key=lambda d: (d.radius_km, d.probe_id),
+    )
+    chosen: list[LatencyDisc] = []
+    for disc in discs:
+        if disc.radius_km > max_radius_km:
+            continue
+        if all(not disc.overlaps(c) for c in chosen):
+            chosen.append(disc)
+    instances = []
+    for disc in chosen:
+        city = atlas.nearest(disc.center)
+        if city.location.distance_km(disc.center) > disc.radius_km:
+            city = None  # no atlas metro inside the disc
+        instances.append(IGreedyInstance(disc=disc, city=city))
+    return IGreedyResult(instances=tuple(instances))

@@ -1,0 +1,22 @@
+"""The Tangled anycast testbed and the ReOpt partitioner (§6).
+
+- :mod:`repro.tangled.testbed` — a 12-site open-access testbed with the
+  paper's per-area site distribution (Table 1: 2 APAC, 5 EMEA, 3 NA,
+  2 LatAm), deployable in global or regional configurations.
+- :mod:`repro.tangled.reopt` — the latency-based region partition and
+  client mapping scheme: K-Means over site coordinates, per-probe
+  assignment to the region holding its lowest-unicast-latency site, and
+  country-level majority mapping so a commercial geolocation DNS service
+  can express the result (§6.1), plus the 3–6 region-count sweep.
+"""
+
+from repro.tangled.reopt import ReOpt, ReOptPlan, spherical_kmeans
+from repro.tangled.testbed import TangledTestbed, build_tangled
+
+__all__ = [
+    "ReOpt",
+    "ReOptPlan",
+    "TangledTestbed",
+    "build_tangled",
+    "spherical_kmeans",
+]

@@ -1,0 +1,88 @@
+"""The Tangled testbed model.
+
+Tangled is a cooperative, worldwide anycast testbed with 12 sites; the
+paper chose it over PEERING because PEERING lacks Asia-Pacific presence
+(§3.2).  Our site list reproduces Table 1's per-area distribution
+(APAC 2 / EMEA 5 / NA 3 / LatAm 2) with two of the EMEA-area sites in
+Africa — the feature that lets ReOpt discover a separate African region
+(§6.1, Fig. 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anycast.network import AnycastNetwork, AnycastSite, SiteAttachment
+from repro.cdn.deployment import GlobalDeployment
+from repro.measurement.engine import ServiceRegistry
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.routing.route import Announcement
+from repro.topology.graph import Topology
+
+TANGLED_ASN = 1149
+
+#: The 12 testbed sites (Table 1's Tangled column: 2/5/3/2 per area).
+TANGLED_SITES: tuple[str, ...] = (
+    "SYD", "SIN",  # APAC
+    "AMS", "LHR", "FRA", "JNB", "CPT",  # EMEA area (two in Africa)
+    "IAD", "MIA", "LAX",  # NA
+    "GRU", "POA",  # LatAm
+)
+
+
+@dataclass
+class TangledTestbed:
+    """The deployed testbed plus per-site unicast prefixes.
+
+    ``unicast`` maps each site name to a prefix announced from that site
+    alone — ReOpt measures per-site unicast latency with these (§6.1).
+    """
+
+    network: AnycastNetwork
+    global_deployment: GlobalDeployment
+    unicast: dict[str, IPv4Prefix]
+
+    @property
+    def site_names(self) -> list[str]:
+        return list(self.global_deployment.site_names)
+
+    def site(self, name: str) -> AnycastSite:
+        return self.network.site(name)
+
+    def unicast_address(self, site_name: str) -> IPv4Address:
+        return AnycastNetwork.service_address(self.unicast[site_name])
+
+    def unicast_announcements(self) -> list[Announcement]:
+        return [
+            self.network.announcement(self.unicast[name], [name])
+            for name in self.site_names
+        ]
+
+    def register(self, registry: ServiceRegistry) -> None:
+        """Register the global prefix and every unicast prefix."""
+        self.global_deployment.register(registry)
+        for announcement in self.unicast_announcements():
+            registry.register(announcement)
+
+
+def build_tangled(topology: Topology, seed: int = 0) -> TangledTestbed:
+    """Deploy the Tangled testbed onto a topology."""
+    network = AnycastNetwork("tangled", asn=TANGLED_ASN, topology=topology, seed=seed)
+    # Testbed sites are hosted by research networks with modest
+    # connectivity: fewer providers and peers than a commercial CDN site.
+    attachment = SiteAttachment(num_providers=2, public_peer_prob=0.0)
+    for iata in TANGLED_SITES:
+        network.add_site(iata, attachment=attachment)
+    global_deployment = GlobalDeployment(
+        name="Tangled-global",
+        network=network,
+        site_names=list(TANGLED_SITES),
+    )
+    unicast = {
+        name: network.allocate_service_prefix() for name in TANGLED_SITES
+    }
+    return TangledTestbed(
+        network=network,
+        global_deployment=global_deployment,
+        unicast=unicast,
+    )

@@ -1,0 +1,51 @@
+"""AS-level Internet topology with geography.
+
+The catchment inefficiencies this paper studies are produced by BGP policy
+routing over the Internet's AS graph.  This package builds a synthetic but
+structurally faithful Internet:
+
+- a tier-1 clique of transit-free backbones with worldwide PoPs;
+- regional transit providers homed on a continent;
+- stub/eyeball ASes (where RIPE-Atlas-like probes live) in specific metros;
+- IXPs where ASes peer either *publicly* (bilateral sessions over the IXP
+  fabric) or via the IXP's *route server* — the distinction §5.4 / Fig. 7
+  shows BGP cares about;
+- every adjacency carries one or more geographic interconnects, so an AS
+  path maps to a concrete sequence of router locations and therefore to a
+  concrete propagation latency.
+
+Modules:
+
+- :mod:`repro.topology.asys` — AS, PoP, link, and relationship value types.
+- :mod:`repro.topology.ixp` — IXP model (members, peering LAN, route server).
+- :mod:`repro.topology.graph` — the mutable topology container + adjacency
+  indexes consumed by the routing engine.
+- :mod:`repro.topology.builder` — the seeded synthetic Internet generator.
+- :mod:`repro.topology.stats` — structural statistics and validation.
+"""
+
+from repro.topology.asys import (
+    AutonomousSystem,
+    Interconnect,
+    Link,
+    LinkKind,
+    PoP,
+    Tier,
+)
+from repro.topology.builder import InternetBuilder, TopologyParams
+from repro.topology.graph import Topology, TopologyError
+from repro.topology.ixp import IXP
+
+__all__ = [
+    "AutonomousSystem",
+    "IXP",
+    "Interconnect",
+    "InternetBuilder",
+    "Link",
+    "LinkKind",
+    "PoP",
+    "Tier",
+    "Topology",
+    "TopologyError",
+    "TopologyParams",
+]

@@ -1,0 +1,263 @@
+"""The topology container and its adjacency indexes.
+
+A :class:`Topology` owns the nodes (ASes and anycast site nodes), the links
+between them, and the IXPs.  It maintains the adjacency indexes the BGP
+engine consumes (customers / peers / providers per node) and a registry of
+every router interface address so measurement tooling can attribute a
+traceroute hop to its owner, location, and — when applicable — IXP.
+
+The container is mutable on purpose: experiments first build the base
+Internet, then attach CDN and testbed site nodes to it.  A ``version``
+counter is bumped on every mutation so routing results cached against a
+topology can detect staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geo.atlas import City
+from repro.netaddr.ipv4 import IPv4Address
+from repro.topology.asys import AutonomousSystem, Interconnect, Link, LinkKind
+from repro.topology.ixp import IXP
+
+
+class TopologyError(RuntimeError):
+    """Raised for structurally invalid topology mutations or lookups."""
+
+
+@dataclass(frozen=True)
+class InterfaceInfo:
+    """Everything known about one router interface address."""
+
+    addr: IPv4Address
+    node_id: int
+    city: City
+    link: Link
+    #: Set when the interface sits on an IXP peering LAN (the address then
+    #: belongs to the IXP's prefix, not the node's infrastructure space).
+    ixp_id: int | None
+
+
+class Topology:
+    """Mutable AS-level topology with geographic interconnects."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, AutonomousSystem] = {}
+        self._links: list[Link] = []
+        self._link_by_pair: dict[tuple[int, int], Link] = {}
+        self._ixps: dict[int, IXP] = {}
+        # Adjacency indexes, updated incrementally by add_link().
+        self._providers: dict[int, list[int]] = {}
+        self._customers: dict[int, list[int]] = {}
+        self._peers: dict[int, list[tuple[int, LinkKind]]] = {}
+        self._interfaces: dict[IPv4Address, InterfaceInfo] = {}
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, node: AutonomousSystem) -> None:
+        if node.node_id in self._nodes:
+            raise TopologyError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._providers[node.node_id] = []
+        self._customers[node.node_id] = []
+        self._peers[node.node_id] = []
+        self.version += 1
+
+    def node(self, node_id: int) -> AutonomousSystem:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[AutonomousSystem]:
+        return iter(self._nodes.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # IXPs
+    # ------------------------------------------------------------------
+    def add_ixp(self, ixp: IXP) -> None:
+        if ixp.ixp_id in self._ixps:
+            raise TopologyError(f"duplicate IXP id {ixp.ixp_id}")
+        self._ixps[ixp.ixp_id] = ixp
+        self.version += 1
+
+    def ixp(self, ixp_id: int) -> IXP:
+        try:
+            return self._ixps[ixp_id]
+        except KeyError:
+            raise TopologyError(f"unknown IXP id {ixp_id}") from None
+
+    def ixps(self) -> Iterator[IXP]:
+        return iter(self._ixps.values())
+
+    def ixps_in(self, iata: str) -> list[IXP]:
+        return [ixp for ixp in self._ixps.values() if ixp.city.iata == iata]
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair_key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def add_link(self, link: Link) -> None:
+        for end in (link.a, link.b):
+            if end not in self._nodes:
+                raise TopologyError(f"link references unknown node {end}")
+        key = self._pair_key(link.a, link.b)
+        if key in self._link_by_pair:
+            raise TopologyError(f"duplicate link between {link.a} and {link.b}")
+        self._links.append(link)
+        self._link_by_pair[key] = link
+        if link.kind is LinkKind.TRANSIT:
+            # Link convention: a is the customer, b is the provider.
+            self._providers[link.a].append(link.b)
+            self._customers[link.b].append(link.a)
+        else:
+            self._peers[link.a].append((link.b, link.kind))
+            self._peers[link.b].append((link.a, link.kind))
+        for ic in link.interconnects:
+            self._register_interface(link, ic)
+        self.version += 1
+
+    def _register_interface(self, link: Link, ic: Interconnect) -> None:
+        for node_id, addr in ((link.a, ic.addr_a), (link.b, ic.addr_b)):
+            if addr in self._interfaces:
+                raise TopologyError(f"interface address reuse: {addr}")
+            self._interfaces[addr] = InterfaceInfo(
+                addr=addr,
+                node_id=node_id,
+                city=ic.city,
+                link=link,
+                ixp_id=link.ixp_id,
+            )
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def link_between(self, a: int, b: int) -> Link:
+        try:
+            return self._link_by_pair[self._pair_key(a, b)]
+        except KeyError:
+            raise TopologyError(f"no link between {a} and {b}") from None
+
+    def has_link(self, a: int, b: int) -> bool:
+        return self._pair_key(a, b) in self._link_by_pair
+
+    # ------------------------------------------------------------------
+    # Adjacency views consumed by the routing engine
+    # ------------------------------------------------------------------
+    def providers_of(self, node_id: int) -> list[int]:
+        """Nodes this node buys transit from."""
+        return self._providers[node_id]
+
+    def customers_of(self, node_id: int) -> list[int]:
+        """Nodes that buy transit from this node."""
+        return self._customers[node_id]
+
+    def peers_of(self, node_id: int) -> list[tuple[int, LinkKind]]:
+        """(neighbor, peering kind) pairs for this node."""
+        return self._peers[node_id]
+
+    def neighbors_of(self, node_id: int) -> list[int]:
+        return (
+            self._providers[node_id]
+            + self._customers[node_id]
+            + [n for n, _ in self._peers[node_id]]
+        )
+
+    def degree(self, node_id: int) -> int:
+        return len(self.neighbors_of(node_id))
+
+    # ------------------------------------------------------------------
+    # Interface / address attribution
+    # ------------------------------------------------------------------
+    def interface_info(self, addr: IPv4Address) -> InterfaceInfo | None:
+        """Attribution for a router interface address, or None."""
+        return self._interfaces.get(addr)
+
+    def owner_asn(self, addr: IPv4Address) -> int | None:
+        """ASN owning an interface address via its infrastructure prefix.
+
+        Addresses on IXP peering LANs return ``None`` — exactly the
+        "p-hop belongs to an IXP, invisible in BGP" case of §5.3.
+        """
+        info = self._interfaces.get(addr)
+        if info is None or info.ixp_id is not None:
+            return None
+        return self._nodes[info.node_id].asn
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`.
+
+        Invariants: every non-tier-1, non-IXP node must be able to reach a
+        tier-1 by following provider links (otherwise it would be
+        partitioned from the default-free zone), and transit links must
+        not form customer-provider cycles.
+        """
+        from repro.topology.asys import Tier
+
+        tier1 = {n.node_id for n in self._nodes.values() if n.tier is Tier.TIER1}
+        if not tier1:
+            raise TopologyError("topology has no tier-1 ASes")
+        # Reachability to the clique via provider edges.
+        for node in self._nodes.values():
+            if node.tier is Tier.TIER1:
+                continue
+            seen = {node.node_id}
+            frontier = [node.node_id]
+            reached = False
+            while frontier and not reached:
+                nxt = []
+                for nid in frontier:
+                    for prov in self._providers[nid]:
+                        if prov in tier1:
+                            reached = True
+                            break
+                        if prov not in seen:
+                            seen.add(prov)
+                            nxt.append(prov)
+                    if reached:
+                        break
+                frontier = nxt
+            if not reached and (self._providers[node.node_id] or not self._peers[node.node_id]):
+                raise TopologyError(
+                    f"node {node.node_id} ({node.name}) cannot reach the tier-1 clique"
+                )
+        self._check_no_transit_cycles()
+
+    def _check_no_transit_cycles(self) -> None:
+        # Kahn's algorithm over customer->provider edges.
+        indegree = {nid: 0 for nid in self._nodes}
+        for nid in self._nodes:
+            for prov in self._providers[nid]:
+                indegree[prov] += 1
+        queue = [nid for nid, deg in indegree.items() if deg == 0]
+        seen = 0
+        while queue:
+            nid = queue.pop()
+            seen += 1
+            for prov in self._providers[nid]:
+                indegree[prov] -= 1
+                if indegree[prov] == 0:
+                    queue.append(prov)
+        if seen != len(self._nodes):
+            raise TopologyError("customer-provider relationships contain a cycle")

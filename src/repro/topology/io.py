@@ -1,0 +1,197 @@
+"""Topology serialisation: export to / import from a JSON document.
+
+Two use cases:
+
+- **archiving** — persist the exact Internet an experiment ran on, so a
+  result can be re-analysed later without re-deriving it from seeds;
+- **interchange** — hand the AS graph to external tooling (networkx,
+  graph databases, visualisers) or load a hand-authored topology for a
+  scenario the generator cannot express.
+
+The format is versioned and self-contained: nodes (with PoPs and infra
+prefixes), IXPs (with memberships), and links (with every geographic
+interconnect and interface address).  ``load_topology(dump_topology(t))``
+reconstructs an equivalent topology: same nodes, links, adjacency,
+interface registry, and routing behaviour.  Dynamic allocator state
+(address-plan cursors) is *not* captured — a loaded topology is for
+analysis and routing, not for deploying further networks onto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.geo.atlas import WorldAtlas, load_default_atlas
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.topology.asys import (
+    AutonomousSystem,
+    Interconnect,
+    Link,
+    LinkKind,
+    PoP,
+    Tier,
+)
+from repro.topology.graph import Topology
+from repro.topology.ixp import IXP
+
+FORMAT_VERSION = 1
+
+
+def dump_topology(topology: Topology) -> dict[str, Any]:
+    """Lower a topology to a JSON-serialisable document."""
+    nodes = []
+    for node in topology.nodes():
+        nodes.append(
+            {
+                "node_id": node.node_id,
+                "asn": node.asn,
+                "name": node.name,
+                "tier": node.tier.value,
+                "home_country": node.home_country,
+                "pops": [pop.iata for pop in node.pops],
+                "infra_prefix": (
+                    str(node.infra_prefix) if node.infra_prefix else None
+                ),
+            }
+        )
+    ixps = []
+    for ixp in topology.ixps():
+        ixps.append(
+            {
+                "ixp_id": ixp.ixp_id,
+                "name": ixp.name,
+                "city": ixp.city.iata,
+                "lan_prefix": str(ixp.lan_prefix),
+                "members": sorted(ixp.members),
+                "route_server_members": sorted(ixp.route_server_members),
+                "publishes_route_server_feed": ixp.publishes_route_server_feed,
+            }
+        )
+    links = []
+    for link in topology.links():
+        links.append(
+            {
+                "a": link.a,
+                "b": link.b,
+                "kind": link.kind.value,
+                "ixp_id": link.ixp_id,
+                "interconnects": [
+                    {
+                        "city": ic.city.iata,
+                        "addr_a": str(ic.addr_a),
+                        "addr_b": str(ic.addr_b),
+                        "extra_ms": ic.extra_ms,
+                    }
+                    for ic in link.interconnects
+                ],
+            }
+        )
+    return {
+        "format": "repro-topology",
+        "version": FORMAT_VERSION,
+        "nodes": nodes,
+        "ixps": ixps,
+        "links": links,
+    }
+
+
+def load_topology(
+    document: dict[str, Any], atlas: WorldAtlas | None = None
+) -> Topology:
+    """Reconstruct a topology from a document produced by dump_topology."""
+    if document.get("format") != "repro-topology":
+        raise ValueError("not a repro-topology document")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported topology format version: {document.get('version')!r}"
+        )
+    atlas = atlas or load_default_atlas()
+    topology = Topology()
+    topology.atlas = atlas  # type: ignore[attr-defined]
+    for spec in document["nodes"]:
+        topology.add_node(
+            AutonomousSystem(
+                node_id=spec["node_id"],
+                asn=spec["asn"],
+                name=spec["name"],
+                tier=Tier(spec["tier"]),
+                home_country=spec["home_country"],
+                pops=tuple(PoP(city=atlas.get(iata)) for iata in spec["pops"]),
+                infra_prefix=(
+                    IPv4Prefix.parse(spec["infra_prefix"])
+                    if spec["infra_prefix"] else None
+                ),
+            )
+        )
+    for spec in document["ixps"]:
+        ixp = IXP(
+            ixp_id=spec["ixp_id"],
+            name=spec["name"],
+            city=atlas.get(spec["city"]),
+            lan_prefix=IPv4Prefix.parse(spec["lan_prefix"]),
+            members=set(spec["members"]),
+            route_server_members=set(spec["route_server_members"]),
+            publishes_route_server_feed=spec["publishes_route_server_feed"],
+        )
+        topology.add_ixp(ixp)
+    for spec in document["links"]:
+        topology.add_link(
+            Link(
+                a=spec["a"],
+                b=spec["b"],
+                kind=LinkKind(spec["kind"]),
+                ixp_id=spec["ixp_id"],
+                interconnects=tuple(
+                    Interconnect(
+                        city=atlas.get(ic["city"]),
+                        addr_a=IPv4Address.parse(ic["addr_a"]),
+                        addr_b=IPv4Address.parse(ic["addr_b"]),
+                        extra_ms=ic["extra_ms"],
+                    )
+                    for ic in spec["interconnects"]
+                ),
+            )
+        )
+    return topology
+
+
+def save_topology(topology: Topology, path: str) -> None:
+    """Write a topology to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(dump_topology(topology), f, indent=1)
+
+
+def read_topology(path: str, atlas: WorldAtlas | None = None) -> Topology:
+    """Read a topology from a JSON file."""
+    with open(path) as f:
+        return load_topology(json.load(f), atlas=atlas)
+
+
+def to_networkx(topology: Topology):
+    """The AS graph as a networkx MultiGraph (nodes keyed by node id).
+
+    Node attributes: asn, name, tier, home_country, pops.  Edge
+    attributes: kind, ixp_id, interconnect cities.  Requires networkx.
+    """
+    import networkx as nx
+
+    graph = nx.MultiGraph()
+    for node in topology.nodes():
+        graph.add_node(
+            node.node_id,
+            asn=node.asn,
+            name=node.name,
+            tier=node.tier.value,
+            home_country=node.home_country,
+            pops=[pop.iata for pop in node.pops],
+        )
+    for link in topology.links():
+        graph.add_edge(
+            link.a,
+            link.b,
+            kind=link.kind.value,
+            ixp_id=link.ixp_id,
+            cities=[ic.city.iata for ic in link.interconnects],
+        )
+    return graph

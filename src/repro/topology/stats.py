@@ -1,0 +1,75 @@
+"""Structural statistics over a topology.
+
+Used by tests to sanity-check generated Internets and by examples to print
+a summary of the world an experiment runs in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.geo.areas import Area
+from repro.topology.asys import LinkKind, Tier
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Counts describing a generated Internet."""
+
+    nodes_by_tier: dict[Tier, int]
+    links_by_kind: dict[LinkKind, int]
+    stubs_by_area: dict[Area, int]
+    num_ixps: int
+    num_interconnects: int
+    mean_stub_degree: float
+    max_degree: int
+
+    def as_text(self) -> str:
+        """Human-readable one-paragraph summary."""
+        tiers = ", ".join(f"{t.value}={n}" for t, n in sorted(
+            self.nodes_by_tier.items(), key=lambda kv: kv[0].value))
+        kinds = ", ".join(f"{k.value}={n}" for k, n in sorted(
+            self.links_by_kind.items(), key=lambda kv: kv[0].value))
+        areas = ", ".join(f"{a.value}={n}" for a, n in sorted(
+            self.stubs_by_area.items(), key=lambda kv: kv[0].value))
+        return (
+            f"nodes: {tiers}\n"
+            f"links: {kinds} ({self.num_interconnects} interconnects)\n"
+            f"stubs by area: {areas}\n"
+            f"IXPs: {self.num_ixps}; mean stub degree "
+            f"{self.mean_stub_degree:.2f}; max degree {self.max_degree}"
+        )
+
+
+def summarize(topology: Topology) -> TopologySummary:
+    """Compute a :class:`TopologySummary` for a topology."""
+    tier_counts: Counter[Tier] = Counter()
+    area_counts: Counter[Area] = Counter()
+    stub_degrees: list[int] = []
+    max_degree = 0
+    for node in topology.nodes():
+        tier_counts[node.tier] += 1
+        degree = topology.degree(node.node_id)
+        max_degree = max(max_degree, degree)
+        if node.tier is Tier.STUB:
+            area_counts[node.pops[0].city.area] += 1
+            stub_degrees.append(degree)
+    kind_counts: Counter[LinkKind] = Counter()
+    num_interconnects = 0
+    for link in topology.links():
+        kind_counts[link.kind] += 1
+        num_interconnects += len(link.interconnects)
+    mean_stub_degree = (
+        sum(stub_degrees) / len(stub_degrees) if stub_degrees else 0.0
+    )
+    return TopologySummary(
+        nodes_by_tier=dict(tier_counts),
+        links_by_kind=dict(kind_counts),
+        stubs_by_area=dict(area_counts),
+        num_ixps=sum(1 for _ in topology.ixps()),
+        num_interconnects=num_interconnects,
+        mean_stub_degree=mean_stub_degree,
+        max_degree=max_degree,
+    )

@@ -1,0 +1,124 @@
+"""Tests for anycast network deployment and announcements."""
+
+import pytest
+
+from repro.anycast.network import AnycastNetwork, SiteAttachment
+from repro.geo.areas import Area
+from repro.routing.engine import RoutingEngine
+from repro.topology.asys import LinkKind, Tier
+
+
+@pytest.fixture(scope="module")
+def network(tiny_topology):
+    net = AnycastNetwork("testnet", asn=64500, topology=tiny_topology, seed=5)
+    for iata in ("IAD", "FRA", "SIN", "GRU"):
+        net.add_site(iata, attachment=SiteAttachment(num_providers=2))
+    return net
+
+
+# The module-scoped network mutates the session topology, which is fine:
+# routing results are version-keyed, and other tests re-resolve lazily.
+
+
+class TestSiteDeployment:
+    def test_sites_registered(self, network):
+        assert set(network.site_names()) == {"IAD", "FRA", "SIN", "GRU"}
+        assert str(network.site("FRA")) == "FRA@FRA"
+
+    def test_duplicate_site_name_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_site("FRA")
+
+    def test_unknown_site_lookup_raises(self, network):
+        with pytest.raises(KeyError):
+            network.site("XXX")
+
+    def test_site_node_properties(self, network, tiny_topology):
+        site = network.site("SIN")
+        node = tiny_topology.node(site.node_id)
+        assert node.tier is Tier.CDN
+        assert node.asn == 64500
+        assert node.is_site
+        assert node.pops[0].iata == "SIN"
+
+    def test_providers_are_transits_with_links(self, network, tiny_topology):
+        site = network.site("IAD")
+        assert len(site.provider_ids) == 2
+        for pid in site.provider_ids:
+            assert tiny_topology.node(pid).tier is Tier.TRANSIT
+            link = tiny_topology.link_between(site.node_id, pid)
+            assert link.kind is LinkKind.TRANSIT
+            assert link.a == site.node_id  # the site is the customer
+
+    def test_providers_are_nearby(self, network, tiny_topology):
+        site = network.site("FRA")
+        for pid in site.provider_ids:
+            transit = tiny_topology.node(pid)
+            km = transit.nearest_pop(site.city).city.location.distance_km(
+                site.city.location
+            )
+            assert km < 3000  # drawn from the nearest-candidates pool
+
+    def test_site_of_node(self, network):
+        site = network.site("GRU")
+        assert network.site_of_node(site.node_id) is not None
+        assert network.site_of_node(123456789) is None
+
+    def test_sites_in_area(self, network):
+        assert {s.name for s in network.sites_in_area(Area.NA)} == {"IAD"}
+        assert {s.name for s in network.sites_in_area(Area.LATAM)} == {"GRU"}
+
+    def test_deployment_deterministic_across_instances(self, tiny_topology):
+        # Two networks with the same seed on the same topology must pick
+        # identical providers (modulo node ids, which differ).
+        net_a = AnycastNetwork("det-a", asn=64501, topology=tiny_topology, seed=9)
+        net_b = AnycastNetwork("det-a", asn=64501, topology=tiny_topology, seed=9)
+        site_a = net_a.add_site("LHR", attachment=SiteAttachment(join_ixps=False))
+        site_b = net_b.add_site("LHR", attachment=SiteAttachment(join_ixps=False))
+        assert site_a.provider_ids == site_b.provider_ids
+
+
+class TestAnnouncements:
+    def test_announcement_from_all_sites(self, network):
+        prefix = network.allocate_service_prefix()
+        ann = network.announcement(prefix, network.site_names())
+        assert len(ann.origins) == 4
+        assert ann.prefix == prefix
+
+    def test_announcement_requires_sites(self, network):
+        prefix = network.allocate_service_prefix()
+        with pytest.raises(ValueError):
+            network.announcement(prefix, [])
+
+    def test_restriction_must_name_neighbors(self, network):
+        prefix = network.allocate_service_prefix()
+        with pytest.raises(ValueError):
+            network.announcement(
+                prefix, ["FRA"], neighbor_restriction={"FRA": frozenset({-1})}
+            )
+
+    def test_service_address_is_offset_one(self, network):
+        prefix = network.allocate_service_prefix()
+        assert network.service_address(prefix) == prefix.address(1)
+
+    def test_global_anycast_reaches_all_stubs(self, network, tiny_topology):
+        prefix = network.allocate_service_prefix()
+        ann = network.announcement(prefix, network.site_names())
+        table = RoutingEngine(tiny_topology).compute(ann)
+        for node in tiny_topology.nodes():
+            if node.tier is Tier.STUB:
+                assert table.catchment_of(node.node_id) is not None
+
+    def test_regional_reachability_from_outside(self, network, tiny_topology):
+        """§4.5: a prefix announced only in one region is still globally
+        reachable."""
+        prefix = network.allocate_service_prefix()
+        ann = network.announcement(prefix, ["FRA"])
+        table = RoutingEngine(tiny_topology).compute(ann)
+        reachable = sum(
+            1
+            for node in tiny_topology.nodes()
+            if node.tier is Tier.STUB and table.catchment_of(node.node_id) is not None
+        )
+        total = sum(1 for n in tiny_topology.nodes() if n.tier is Tier.STUB)
+        assert reachable == total

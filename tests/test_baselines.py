@@ -1,0 +1,135 @@
+"""Tests for the DailyCatch and AnyOpt baselines and their comparison."""
+
+import pytest
+
+from repro.analysis.cdf import percentile
+from repro.baselines.anyopt import anyopt_site_search
+from repro.baselines.dailycatch import run_dailycatch
+from repro.experiments import baselines
+
+
+class TestDailyCatch:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return run_dailycatch(
+            small_world.tangled.network,
+            small_world.tangled.site_names,
+            small_world.engine,
+            small_world.usable_probes,
+        )
+
+    def test_chooses_the_better_configuration(self, result):
+        best = min(result.transit_only_metric, result.all_neighbors_metric)
+        chosen_metric = (
+            result.transit_only_metric
+            if result.chosen == "transit-only"
+            else result.all_neighbors_metric
+        )
+        assert chosen_metric == best
+
+    def test_both_configurations_measured(self, result):
+        assert len(result.transit_only_rtts) > 0
+        assert len(result.all_neighbors_rtts) > 0
+        assert result.transit_only_addr != result.all_neighbors_addr
+
+    def test_chosen_accessors_consistent(self, result):
+        if result.chosen == "transit-only":
+            assert result.chosen_addr == result.transit_only_addr
+            assert result.chosen_rtts is result.transit_only_rtts
+        else:
+            assert result.chosen_addr == result.all_neighbors_addr
+            assert result.chosen_rtts is result.all_neighbors_rtts
+
+    def test_requires_sites_and_probes(self, small_world):
+        with pytest.raises(ValueError):
+            run_dailycatch(small_world.tangled.network, [],
+                           small_world.engine, small_world.usable_probes)
+        with pytest.raises(ValueError):
+            run_dailycatch(small_world.tangled.network,
+                           small_world.tangled.site_names,
+                           small_world.engine, [])
+
+    def test_custom_metric_respected(self, small_world):
+        result = run_dailycatch(
+            small_world.tangled.network,
+            small_world.tangled.site_names,
+            small_world.engine,
+            small_world.usable_probes,
+            metric=lambda rtts: percentile(list(rtts.values()), 50),
+        )
+        t = percentile(list(result.transit_only_rtts.values()), 50)
+        a = percentile(list(result.all_neighbors_rtts.values()), 50)
+        assert result.transit_only_metric == pytest.approx(t)
+        assert result.all_neighbors_metric == pytest.approx(a)
+
+
+class TestAnyOpt:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return anyopt_site_search(
+            small_world.tangled.network,
+            small_world.tangled.site_names,
+            small_world.engine,
+            small_world.usable_probes,
+            max_evaluations=40,
+        )
+
+    def test_never_worse_than_all_sites(self, result):
+        assert result.chosen_metric <= result.all_sites_metric
+        assert result.improvement >= 0.0
+
+    def test_trajectory_monotone_improving(self, result):
+        metrics = [m for _, m in result.trajectory]
+        assert metrics == sorted(metrics, reverse=True)
+
+    def test_respects_min_sites(self, small_world):
+        result = anyopt_site_search(
+            small_world.tangled.network,
+            small_world.tangled.site_names,
+            small_world.engine,
+            small_world.usable_probes[:100],
+            min_sites=10,
+            max_evaluations=30,
+        )
+        assert len(result.chosen_sites) >= 10
+
+    def test_chosen_sites_are_real_sites(self, result, small_world):
+        assert set(result.chosen_sites) <= set(small_world.tangled.site_names)
+        assert len(result.chosen_sites) >= 2
+
+    def test_input_validation(self, small_world):
+        with pytest.raises(ValueError):
+            anyopt_site_search(small_world.tangled.network, ["AMS"],
+                               small_world.engine, small_world.usable_probes)
+        with pytest.raises(ValueError):
+            anyopt_site_search(small_world.tangled.network,
+                               small_world.tangled.site_names,
+                               small_world.engine, [])
+
+
+class TestBaselinesExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return baselines.run(small_world)
+
+    def test_all_strategies_present(self, result):
+        assert set(result.rtts) == {
+            "global-anycast", "dailycatch", "anyopt-subset", "regional-reopt",
+        }
+
+    def test_dailycatch_never_worse_than_global_at_p90(self, result):
+        assert result.overall_percentile("dailycatch", 90) <= \
+            result.overall_percentile("global-anycast", 90) + 1.0
+
+    def test_anyopt_never_worse_than_global_at_p90(self, result):
+        assert result.overall_percentile("anyopt-subset", 90) <= \
+            result.overall_percentile("global-anycast", 90) + 1.0
+
+    def test_regional_beats_global_at_median(self, result):
+        assert result.overall_percentile("regional-reopt", 50) < \
+            result.overall_percentile("global-anycast", 50)
+
+    def test_render_mentions_decisions(self, result):
+        text = result.render()
+        assert "DailyCatch chose" in text
+        assert "AnyOpt kept" in text

@@ -1,0 +1,225 @@
+"""Tests for CDN deployments (generic, Edgio, Imperva) and the survey."""
+
+import pytest
+
+from repro.cdn.deployment import GlobalDeployment, RegionalDeployment
+from repro.cdn.survey import CdnSurvey, SurveyParams, EDGIO, IMPERVA
+from repro.geo.areas import Area
+from repro.measurement.engine import ServiceRegistry
+
+
+class TestEdgioModel:
+    def test_published_site_counts_match_paper(self, small_world):
+        counts = small_world.edgio.eg3.published_by_area()
+        assert counts == {Area.APAC: 19, Area.EMEA: 26, Area.NA: 24, Area.LATAM: 10}
+        assert sum(counts.values()) == 79
+
+    def test_eg3_deployed_counts_match_paper(self, small_world):
+        counts = small_world.edgio.eg3.sites_by_area()
+        assert counts == {Area.APAC: 14, Area.EMEA: 15, Area.NA: 13, Area.LATAM: 1}
+        assert sum(counts.values()) == 43
+
+    def test_eg4_deployed_counts_match_paper(self, small_world):
+        counts = small_world.edgio.eg4.sites_by_area()
+        assert counts == {Area.APAC: 15, Area.EMEA: 16, Area.NA: 12, Area.LATAM: 4}
+        assert sum(counts.values()) == 47
+
+    def test_eg3_has_three_regions_eg4_four(self, small_world):
+        assert len(small_world.edgio.eg3.region_names) == 3
+        assert len(small_world.edgio.eg4.region_names) == 4
+
+    def test_eg3_maps_south_america_to_americas(self, small_world):
+        rm = small_world.edgio.eg3.region_map
+        assert rm.region_for("BR") == "AMERICAS"
+        assert rm.region_for("US") == "AMERICAS"
+        assert rm.region_for("DE") == "EMEA"
+
+    def test_eg4_separates_south_america(self, small_world):
+        rm = small_world.edgio.eg4.region_map
+        assert rm.region_for("BR") == "SA"
+        assert rm.region_for("MX") == "SA"  # Central America joins SA
+        assert rm.region_for("US") == "NA"
+
+    def test_eg4_mixed_site_is_florida(self, small_world):
+        mixed = small_world.edgio.eg4.mixed_sites()
+        assert [s.name for s in mixed] == ["MIA"]
+        assert small_world.edgio.eg4.regions_of_site("MIA") == ["NA", "SA"]
+
+    def test_eg3_has_no_mixed_sites(self, small_world):
+        assert small_world.edgio.eg3.mixed_sites() == []
+
+
+class TestImpervaModel:
+    def test_published_counts_match_paper(self, small_world):
+        counts = small_world.imperva.im6.published_by_area()
+        assert counts == {Area.APAC: 17, Area.EMEA: 15, Area.NA: 12, Area.LATAM: 6}
+        assert sum(counts.values()) == 50
+
+    def test_im6_deployed_counts_match_paper(self, small_world):
+        counts = small_world.imperva.im6.sites_by_area()
+        assert counts == {Area.APAC: 16, Area.EMEA: 15, Area.NA: 12, Area.LATAM: 5}
+        assert sum(counts.values()) == 48
+
+    def test_ns_deploys_one_more_apac_site(self, small_world):
+        counts = small_world.imperva.ns.sites_by_area()
+        assert counts == {Area.APAC: 17, Area.EMEA: 15, Area.NA: 12, Area.LATAM: 5}
+        assert sum(counts.values()) == 49
+
+    def test_six_regions_with_us_ca_split(self, small_world):
+        im6 = small_world.imperva.im6
+        assert sorted(im6.region_names) == ["APAC", "CA", "EMEA", "LATAM", "RU", "US"]
+        rm = im6.region_map
+        assert rm.region_for("US") == "US"
+        assert rm.region_for("CA") == "CA"
+        assert rm.region_for("RU") == "RU"
+        assert rm.region_for("DE") == "EMEA"
+
+    def test_russia_region_served_from_europe(self, small_world):
+        im6 = small_world.imperva.im6
+        assert sorted(im6.regions["RU"]) == ["AMS", "FRA", "LHR"]
+        for name in ("AMS", "FRA", "LHR"):
+            assert set(im6.regions_of_site(name)) == {"EMEA", "RU"}
+
+    def test_california_cross_announces_apac(self, small_world):
+        im6 = small_world.imperva.im6
+        assert "SJC" in im6.regions["APAC"]
+        assert set(im6.regions_of_site("SJC")) == {"APAC", "US"}
+
+    def test_mixed_sites(self, small_world):
+        mixed = {s.name for s in small_world.imperva.im6.mixed_sites()}
+        assert mixed == {"AMS", "FRA", "LHR", "SJC"}
+
+    def test_regional_addresses_distinct(self, small_world):
+        addrs = small_world.imperva.im6.regional_addresses()
+        assert len(addrs) == 6 and len(set(addrs)) == 6
+
+    def test_cdn_and_ns_share_sites(self, small_world):
+        cdn_sites = {s.name for s in small_world.imperva.im6.deployed_sites()}
+        ns_sites = {s.name for s in small_world.imperva.ns.deployed_sites()}
+        assert cdn_sites < ns_sites
+        assert ns_sites - cdn_sites == {"AKL"}
+
+    def test_neighbor_restrictions_create_peer_differences(self, small_world):
+        """§5.3: some sites announce the CDN prefixes and the DNS prefix
+        to different peer sets."""
+        im = small_world.imperva
+        cdn_restricted = {
+            name
+            for per_region in im.im6.neighbor_restriction.values()
+            for name in per_region
+        }
+        dns_restricted = set(im.ns.neighbor_restriction)
+        assert cdn_restricted or dns_restricted
+        assert cdn_restricted.isdisjoint(dns_restricted)
+
+
+class TestRegionalDeploymentGeneric:
+    def test_unknown_site_rejected(self, small_world):
+        with pytest.raises(KeyError):
+            RegionalDeployment(
+                name="x",
+                network=small_world.imperva.network,
+                regions={"R": ["NOPE"]},
+                region_map=small_world.imperva.im6.region_map,
+            )
+
+    def test_empty_region_rejected(self, small_world):
+        with pytest.raises(ValueError):
+            RegionalDeployment(
+                name="x",
+                network=small_world.imperva.network,
+                regions={"US": []},
+                region_map=small_world.imperva.im6.region_map,
+            )
+
+    def test_region_map_must_reference_known_regions(self, small_world):
+        from repro.dnssim.service import RegionMap
+
+        with pytest.raises(ValueError):
+            RegionalDeployment(
+                name="x",
+                network=small_world.imperva.network,
+                regions={"US": ["IAD"]},
+                region_map=RegionMap({"US": "MOON"}, default_region="MOON"),
+            )
+
+    def test_announcements_one_per_region(self, small_world):
+        anns = small_world.imperva.im6.announcements()
+        assert len(anns) == 6
+        prefixes = {a.prefix for a in anns}
+        assert len(prefixes) == 6
+
+    def test_region_of_address_roundtrip(self, small_world):
+        im6 = small_world.imperva.im6
+        for region in im6.region_names:
+            assert im6.region_of_address(im6.address_of_region(region)) == region
+        from repro.netaddr.ipv4 import IPv4Address
+
+        assert im6.region_of_address(IPv4Address.parse("203.0.113.1")) is None
+
+    def test_register_is_idempotent_per_registry(self, small_world):
+        registry = ServiceRegistry()
+        small_world.imperva.im6.register(registry)
+        # Same announcements can be registered again without conflict.
+        small_world.imperva.im6.register(registry)
+        assert len(registry.announcements()) == 6
+
+    def test_global_deployment_requires_sites(self, small_world):
+        with pytest.raises(ValueError):
+            GlobalDeployment(name="g", network=small_world.imperva.network,
+                             site_names=[])
+
+
+class TestSurvey:
+    @pytest.fixture(scope="class")
+    def survey(self):
+        return CdnSurvey(SurveyParams(seed=9))
+
+    def test_population_statistics_match_paper(self, survey):
+        assert len(survey.domains) == 10_000
+        assert survey.coverage() == pytest.approx(0.657, abs=0.001)
+        assert survey.regional_share() == pytest.approx(0.0298, abs=0.0001)
+
+    def test_edgio_imperva_website_counts(self, survey):
+        ranking = dict(survey.provider_ranking())
+        assert ranking[EDGIO] == 209
+        assert ranking[IMPERVA] == 89
+
+    def test_hostname_counts(self, survey):
+        edgio_hosts = [h for h in survey.hostnames if h.provider == EDGIO]
+        imperva_hosts = [h for h in survey.hostnames if h.provider == IMPERVA]
+        assert len(edgio_hosts) == 96
+        assert len(imperva_hosts) == 91
+
+    def test_redirection_table_has_two_regional_cdns(self, survey):
+        table = survey.redirection_table()
+        assert len(table) == 15
+        regional = [name for name, method in table if method == "Regional Anycast"]
+        assert regional == [EDGIO, IMPERVA]
+
+    def test_classification_against_real_dns(self, survey, small_world):
+        subnets = sorted(
+            {p.client_subnet for p in small_world.usable_probes},
+            key=lambda s: s.network,
+        )
+        sets = survey.classify(
+            list(subnets),
+            services={
+                "regional-3": small_world.eg3_service,
+                "regional-4": small_world.eg4_service,
+                "regional-6": small_world.im6_service,
+            },
+        )
+        assert sets.summary() == {
+            "Edgio-3": 50, "Edgio-4": 34, "Imperva-6": 78, "excluded": 25,
+        }
+
+    def test_classification_requires_subnets(self, survey, small_world):
+        with pytest.raises(ValueError):
+            survey.classify([], services={})
+
+    def test_survey_deterministic(self):
+        a = CdnSurvey(SurveyParams(seed=4))
+        b = CdnSurvey(SurveyParams(seed=4))
+        assert a.domains == b.domains
+        assert a.hostnames == b.hostnames

@@ -1,0 +1,84 @@
+"""Tests for the CLI and the JSON export layer."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.export import to_jsonable
+
+
+class TestExport:
+    def test_scalars_pass_through(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(3) == 3
+        assert to_jsonable("x") == "x"
+
+    def test_cdf_lowered_to_summary(self):
+        from repro.analysis.cdf import EmpiricalCDF
+
+        out = to_jsonable(EmpiricalCDF.of([1.0, 2.0, 3.0]))
+        assert out["n"] == 3
+        assert out["percentiles"]["50"] == 2.0
+        assert out["series"][-1][1] == 1.0
+
+    def test_city_and_address_lowered(self):
+        from repro.geo.atlas import load_default_atlas
+        from repro.netaddr.ipv4 import IPv4Address
+
+        assert to_jsonable(load_default_atlas().get("FRA")) == "FRA"
+        assert to_jsonable(IPv4Address.parse("192.0.2.1")) == "192.0.2.1"
+
+    def test_enum_and_tuple_keys(self):
+        from repro.geo.areas import Area
+
+        out = to_jsonable({Area.EMEA: 1, ("FRA", 7): 2})
+        assert out == {"EMEA": 1, "FRA|7": 2}
+
+    def test_dataclass_recursion_skips_private(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Demo:
+            value: int
+            _hidden: int = 0
+
+        assert to_jsonable(Demo(value=5)) == {"value": 5}
+
+    def test_experiment_result_roundtrips_through_json(self, small_world):
+        from repro.experiments import table3
+        from repro.experiments.export import export_results
+
+        result = table3.run(small_world)
+        import tempfile, os
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "out.json")
+            export_results([result], path)
+            with open(path) as f:
+                payload = json.load(f)
+        assert "table3" in payload
+        assert payload["table3"]["retained_fraction"] > 0
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig6" in out and "baselines" in out
+
+    def test_demo_fig1(self, capsys):
+        assert main(["demo", "fig1"]) == 0
+        assert "Regional anycast" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        assert main(["run", "nonsense", "--small"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_single_experiment_small(self, capsys):
+        assert main(["run", "table1", "--small"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,206 @@
+"""Tests for geo-mapping DNS, resolvers, and the Route-53 zone."""
+
+import pytest
+
+from repro.dnssim.resolver import DnsMode, ResolverParams, ResolverPool
+from repro.dnssim.service import GeoMappingService, RegionMap
+from repro.dnssim.route53 import GeoPolicyZone
+from repro.geo.countries import Continent
+from repro.geoloc.database import GeoDatabase, GeoDbParams
+from repro.geoloc.oracle import GeoOracle
+from repro.measurement.probes import ProbeParams, ProbePopulation
+from repro.netaddr.ipv4 import IPv4Address
+
+
+@pytest.fixture(scope="module")
+def dns_setup(tiny_topology):
+    probes = ProbePopulation(tiny_topology, ProbeParams(seed=31, num_probes=200))
+    oracle = GeoOracle(tiny_topology, probes)
+    perfect = GeoDatabase(
+        "perfect", oracle,
+        GeoDbParams(home_country_bias=0.0, country_error=0.0, coord_error=0.0,
+                    coord_fuzz_km=(0.0, 0.0)),
+        seed=1,
+    )
+    noisy = GeoDatabase(
+        "noisy", oracle,
+        GeoDbParams(home_country_bias=0.6, country_error=0.1, coord_error=0.2),
+        seed=2,
+    )
+    return probes, oracle, perfect, noisy
+
+
+ADDR_A = IPv4Address.parse("198.18.0.1")
+ADDR_B = IPv4Address.parse("198.19.0.1")
+ADDR_C = IPv4Address.parse("198.20.0.1")
+
+
+def simple_region_map():
+    return RegionMap(
+        region_of_country={"US": "NA", "CA": "NA", "DE": "EU", "FR": "EU",
+                           "GB": "EU", "NL": "EU", "JP": "ASIA", "SG": "ASIA"},
+        default_region="EU",
+    )
+
+
+class TestRegionMap:
+    def test_region_for_known_and_default(self):
+        rm = simple_region_map()
+        assert rm.region_for("US") == "NA"
+        assert rm.region_for("BR") == "EU"  # falls to default
+        assert rm.region_for(None) == "EU"
+
+    def test_regions_and_countries_of(self):
+        rm = simple_region_map()
+        assert rm.regions() == ["ASIA", "EU", "NA"]
+        assert rm.countries_of("NA") == ["CA", "US"]
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            RegionMap(region_of_country={}, default_region="X")
+
+
+class TestGeoMappingService:
+    def _service(self, db):
+        return GeoMappingService(
+            hostname="www.example.com",
+            region_map=simple_region_map(),
+            addresses={"NA": ADDR_A, "EU": ADDR_B, "ASIA": ADDR_C},
+            geodb=db,
+        )
+
+    def test_missing_region_address_rejected(self, dns_setup):
+        _, _, perfect, _ = dns_setup
+        with pytest.raises(ValueError):
+            GeoMappingService(
+                hostname="x", region_map=simple_region_map(),
+                addresses={"NA": ADDR_A}, geodb=perfect,
+            )
+
+    def test_answers_follow_true_country_with_perfect_db(self, dns_setup):
+        probes, _, perfect, _ = dns_setup
+        service = self._service(perfect)
+        for p in probes.usable_probes()[:60]:
+            answer = service.answer_for_source(p.addr)
+            assert answer == service.addresses[
+                service.region_map.region_for(p.country)
+            ]
+
+    def test_region_of_address_and_back(self, dns_setup):
+        _, _, perfect, _ = dns_setup
+        service = self._service(perfect)
+        assert service.address_of_region("NA") == ADDR_A
+        assert service.region_of_address(ADDR_A) == ["NA"]
+        with pytest.raises(KeyError):
+            service.address_of_region("MOON")
+
+    def test_regional_addresses_deduplicated(self, dns_setup):
+        _, _, perfect, _ = dns_setup
+        service = GeoMappingService(
+            hostname="x", region_map=simple_region_map(),
+            addresses={"NA": ADDR_A, "EU": ADDR_B, "ASIA": ADDR_B},
+            geodb=perfect,
+        )
+        assert service.regional_addresses() == [ADDR_B, ADDR_A] or \
+            service.regional_addresses() == [ADDR_A, ADDR_B]
+        assert len(service.regional_addresses()) == 2
+
+    def test_noisy_db_causes_some_wrong_regions(self, dns_setup):
+        probes, _, _, noisy = dns_setup
+        service = self._service(noisy)
+        wrong = 0
+        sample = probes.usable_probes()
+        for p in sample:
+            answer = service.answer_for_source(p.addr)
+            intended = service.addresses[service.region_map.region_for(p.country)]
+            if answer != intended:
+                wrong += 1
+        assert wrong > 0
+
+    def test_ecs_subnet_source(self, dns_setup):
+        probes, _, perfect, _ = dns_setup
+        service = self._service(perfect)
+        p = probes.usable_probes()[0]
+        assert service.answer_for_source(p.client_subnet) == \
+            service.answer_for_source(p.addr)
+
+
+class TestResolverPool:
+    def test_profile_stable_per_probe(self, dns_setup):
+        probes, _, _, _ = dns_setup
+        pool = ResolverPool(probes, seed=5)
+        p = probes.usable_probes()[0]
+        assert pool.profile_for(p) is pool.profile_for(p)
+
+    def test_public_fraction_statistical(self, dns_setup):
+        probes, _, _, _ = dns_setup
+        pool = ResolverPool(probes, ResolverParams(public_resolver_fraction=0.5),
+                            seed=6)
+        sample = probes.usable_probes()
+        public = sum(1 for p in sample if pool.profile_for(p).is_public)
+        assert 0.3 < public / len(sample) < 0.7
+
+    def test_adns_source_is_probe_address(self, dns_setup):
+        probes, _, _, _ = dns_setup
+        pool = ResolverPool(probes, seed=5)
+        p = probes.usable_probes()[0]
+        assert pool.query_source(p, DnsMode.ADNS) == p.addr
+
+    def test_ldns_source_is_subnet_or_resolver(self, dns_setup):
+        probes, _, _, _ = dns_setup
+        pool = ResolverPool(probes, seed=5)
+        for p in probes.usable_probes()[:40]:
+            source = pool.query_source(p, DnsMode.LDNS)
+            profile = pool.profile_for(p)
+            if profile.ecs_enabled:
+                assert source == p.client_subnet
+            else:
+                assert source == profile.addr
+
+    def test_public_resolvers_enable_ecs(self, dns_setup):
+        probes, _, _, _ = dns_setup
+        pool = ResolverPool(probes, ResolverParams(public_resolver_fraction=1.0),
+                            seed=6)
+        p = probes.usable_probes()[0]
+        profile = pool.profile_for(p)
+        assert profile.is_public and profile.ecs_enabled
+
+
+class TestRoute53Zone:
+    def test_precedence_country_continent_default(self, dns_setup):
+        probes, _, perfect, _ = dns_setup
+        zone = GeoPolicyZone(hostname="t.example", geodb=perfect,
+                             default_record=ADDR_C)
+        zone.set_country_record("DE", ADDR_A)
+        zone.set_continent_record(Continent.EUROPE, ADDR_B)
+        de_probe = next((p for p in probes.usable_probes() if p.country == "DE"), None)
+        fr_probe = next((p for p in probes.usable_probes() if p.country == "FR"), None)
+        us_probe = next((p for p in probes.usable_probes() if p.country == "US"), None)
+        if de_probe:
+            assert zone.answer_for_source(de_probe.addr) == ADDR_A
+        if fr_probe:
+            assert zone.answer_for_source(fr_probe.addr) == ADDR_B
+        if us_probe:
+            assert zone.answer_for_source(us_probe.addr) == ADDR_C
+
+    def test_unknown_country_record_rejected(self, dns_setup):
+        _, _, perfect, _ = dns_setup
+        zone = GeoPolicyZone(hostname="t.example", geodb=perfect,
+                             default_record=ADDR_C)
+        with pytest.raises(ValueError):
+            zone.set_country_record("XX", ADDR_A)
+
+    def test_unknown_source_gets_default(self, dns_setup):
+        _, _, perfect, _ = dns_setup
+        zone = GeoPolicyZone(hostname="t.example", geodb=perfect,
+                             default_record=ADDR_C)
+        assert zone.answer_for_source(IPv4Address.parse("203.0.113.5")) == ADDR_C
+
+    def test_from_country_mapping(self, dns_setup):
+        probes, _, perfect, _ = dns_setup
+        zone = GeoPolicyZone.from_country_mapping(
+            "t.example", perfect, {"US": ADDR_A, "DE": ADDR_B}, default=ADDR_C
+        )
+        us_probe = next((p for p in probes.usable_probes() if p.country == "US"), None)
+        if us_probe:
+            assert zone.answer_for_source(us_probe.addr) == ADDR_A

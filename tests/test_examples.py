@@ -1,0 +1,60 @@
+"""Smoke tests for the example applications.
+
+The two fast examples run end-to-end as subprocesses; the heavier ones
+(each builds a SMALL world) are compile- and import-checked so a broken
+import or API drift fails the suite without paying world-build time per
+example.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {p.name for p in ALL_EXAMPLES}
+        assert names == {
+            "quickstart.py",
+            "catchment_inefficiency.py",
+            "regional_cdn_study.py",
+            "reopt_planner.py",
+            "site_enumeration.py",
+            "failure_drill.py",
+        }
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_docstring_and_main(self, path):
+        source = path.read_text()
+        assert source.startswith("#!/usr/bin/env python3")
+        assert '"""' in source
+        assert 'if __name__ == "__main__":' in source
+
+    def test_catchment_inefficiency_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "catchment_inefficiency.py")],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Fig. 1" in result.stdout
+        assert "Fig. 7" in result.stdout
+        assert "regional anycast" in result.stdout
+
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "group-median RTT percentiles" in result.stdout
+        assert "EU-regional" in result.stdout

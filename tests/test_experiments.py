@@ -1,0 +1,342 @@
+"""Integration tests: every experiment runs on the shared small world and
+reproduces the paper's qualitative shapes.
+
+These are the repository's headline assertions — each one encodes a claim
+from the paper's evaluation that must hold in the simulation.
+"""
+
+import pytest
+
+from repro.dnssim.resolver import DnsMode
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig8,
+    sec54,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.analysis.mapping import MappingClass
+from repro.geo.areas import AREAS, Area
+from repro.sitemap.pipeline import Technique
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return table1.run(small_world)
+
+    def test_columns_present(self, result):
+        assert list(result.columns) == [
+            "EG-3", "EG-4", "EG-Pub", "IM-6", "IM-NS", "IM-Pub", "Tangled",
+        ]
+
+    def test_published_totals_exact(self, result):
+        assert result.total("EG-Pub") == 79
+        assert result.total("IM-Pub") == 50
+        assert result.total("Tangled") == 12
+
+    def test_measured_networks_undercount_published(self, result):
+        assert result.total("EG-3") <= 43
+        assert result.total("EG-4") <= 47
+        assert result.total("IM-6") <= 48
+        assert result.total("IM-NS") <= 49
+
+    def test_measured_networks_find_most_sites(self, result):
+        assert result.total("EG-3") >= 30
+        assert result.total("IM-6") >= 35
+
+    def test_enumerated_sites_are_published_sites(self, result):
+        for measured, published in (("EG-3", "EG-Pub"), ("IM-6", "IM-Pub")):
+            assert set(result.sites[measured]) <= set(result.sites[published])
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Tangled" in text and "Total" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return fig2.run(small_world)
+
+    def test_three_views(self, result):
+        assert [v.name for v in result.views] == ["Edgio-3", "Edgio-4", "Imperva-6"]
+
+    def test_eg4_mixed_site_detected(self, result):
+        assert result.view("Edgio-4").mixed_sites == ["MIA"]
+
+    def test_imperva_mixed_sites_detected(self, result):
+        mixed = set(result.view("Imperva-6").mixed_sites)
+        assert "SJC" in mixed
+        assert mixed & {"AMS", "FRA", "LHR"}
+
+    def test_most_countries_receive_one_regional_ip(self, result):
+        for view in result.views:
+            assert view.single_ip_country_fraction > 0.7
+
+    def test_imperva_has_six_client_regions(self, result):
+        view = result.view("Imperva-6")
+        assert len(view.probes_per_region) == 6
+        assert view.probes_per_region["EMEA"] == max(view.probes_per_region.values())
+
+    def test_russia_prefix_announced_from_europe(self, result):
+        ru_sites = set(result.view("Imperva-6").sites_per_region["RU"])
+        assert ru_sites <= {"AMS", "FRA", "LHR"}
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return fig3.run(small_world)
+
+    def test_all_networks_present(self, result):
+        assert set(result.bars) == {"EG-3", "EG-4", "IM-6", "IM-NS"}
+
+    def test_rdns_is_dominant_technique(self, result):
+        for bars in result.bars.values():
+            assert bars["p-hops"][Technique.RDNS] == max(bars["p-hops"].values())
+
+    def test_majority_of_phops_resolved(self, result):
+        for bars in result.bars.values():
+            assert bars["p-hops"][Technique.UNRESOLVED] < 0.35
+
+    def test_fractions_normalised(self, result):
+        for bars in result.bars.values():
+            for of in ("p-hops", "traces"):
+                assert sum(bars[of].values()) == pytest.approx(1.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return table2.run(small_world)
+
+    def test_majority_of_groups_efficient(self, result):
+        for (hostset, mode), eff in result.efficiencies.items():
+            for area in AREAS:
+                if not [g for g in eff.groups if g.area is area]:
+                    continue
+                assert eff.fraction(area, MappingClass.EFFICIENT) > 0.5
+
+    def test_imperva_less_efficient_than_edgio(self, result):
+        """§5.1: the six-region partition causes more ✓Region suboptimal
+        mappings than Edgio's coarse partitions (EMEA + NA carry it)."""
+        for mode in (DnsMode.LDNS, DnsMode.ADNS):
+            im = result.efficiencies[("Imperva-6", mode)]
+            eg = result.efficiencies[("Edgio-3", mode)]
+            im_sub = sum(
+                im.fraction(a, MappingClass.REGION_SUBOPTIMAL)
+                for a in (Area.EMEA, Area.NA)
+            )
+            eg_sub = sum(
+                eg.fraction(a, MappingClass.REGION_SUBOPTIMAL)
+                for a in (Area.EMEA, Area.NA)
+            )
+            assert im_sub > eg_sub
+
+    def test_adns_wrong_region_not_worse_than_ldns(self, result):
+        """Querying the authoritative directly exposes the client address,
+        so ×Region (geolocation-of-resolver) errors shrink overall."""
+        for hostset in ("Edgio-3", "Edgio-4", "Imperva-6"):
+            ldns = result.efficiencies[(hostset, DnsMode.LDNS)]
+            adns = result.efficiencies[(hostset, DnsMode.ADNS)]
+            ldns_total = sum(
+                ldns.fraction(a, MappingClass.WRONG_REGION) for a in AREAS
+            )
+            adns_total = sum(
+                adns.fraction(a, MappingClass.WRONG_REGION) for a in AREAS
+            )
+            assert adns_total <= ldns_total + 0.02
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return fig4.run(small_world)
+
+    def test_all_series_present(self, result):
+        assert set(result.series) >= {
+            "EG3", "EG4", "IM6", "IM6-overlap", "IM-NS-overlap",
+        }
+
+    def test_eg4_improves_latam_over_eg3(self, result):
+        """§5.2's headline: South American clients improve markedly once
+        Edgio-4 gives them their own regional prefix."""
+        eg3 = result.series["EG3"][Area.LATAM].rtt
+        eg4 = result.series["EG4"][Area.LATAM].rtt
+        assert eg4.percentile(80) < eg3.percentile(80)
+
+    def test_latency_lower_bounded_by_distance(self, result):
+        for series in result.series.values():
+            for cdfs in series.values():
+                if cdfs.rtt is None or cdfs.distance_km is None:
+                    continue
+                # Median RTT can't beat the fiber bound of median distance.
+                assert cdfs.rtt.percentile(50) >= \
+                    cdfs.distance_km.percentile(50) / 100.0 * 0.9
+
+
+class TestComparison53:
+    @pytest.fixture(scope="class")
+    def t3(self, small_world):
+        return table3.run(small_world)
+
+    @pytest.fixture(scope="class")
+    def t4(self, small_world):
+        return table4.run(small_world)
+
+    def test_most_groups_retained(self, t3):
+        """The paper keeps 82.1% after overlap filtering."""
+        assert 0.6 < t3.retained_fraction <= 1.0
+
+    def test_regional_helps_somewhere_in_the_tail(self, t3):
+        wins = 0
+        for area, cells in t3.cells.items():
+            for p, (regional, global_) in cells.items():
+                if p >= 90 and regional < global_ - 5:
+                    wins += 1
+        assert wins >= 1
+
+    def test_better_groups_reach_closer_sites(self, t4):
+        """Table 4's signature: improved groups overwhelmingly reach
+        geographically closer sites."""
+        for area, crosstab in t4.crosstabs.items():
+            better = crosstab["better"]
+            if better["count"] >= 5:
+                assert better["closer"] > 0.6
+
+    def test_similar_groups_reach_same_sites(self, t4):
+        for area, crosstab in t4.crosstabs.items():
+            similar = crosstab["similar"]
+            if similar["count"] >= 10:
+                assert similar["same"] > 0.9
+
+
+class TestFig5:
+    def test_delta_distance_tracks_delta_rtt(self, small_world):
+        result = fig5.run(small_world)
+        for area in result.delta_rtt:
+            rtt_cdf = result.delta_rtt[area]
+            dist_cdf = result.delta_dist[area]
+            assert len(rtt_cdf) == len(dist_cdf)
+
+
+class TestFig8:
+    def test_same_site_rtts_nearly_identical(self, small_world):
+        """Appendix D's validation: same site via regional or global
+        prefix ⇒ indistinguishable RTT distributions."""
+        result = fig8.run(small_world)
+        assert result.median_abs_gap_ms < 3.0
+        for area in result.regional:
+            reg = result.regional[area]
+            glob = result.global_[area]
+            assert reg.percentile(50) == pytest.approx(
+                glob.percentile(50), rel=0.15, abs=3.0
+            )
+
+
+class TestSec54:
+    def test_relationship_override_dominates_attributed_cases(self, small_world):
+        result = sec54.run(small_world)
+        from repro.analysis.cases import CaseType
+
+        assert result.improved_groups > 0
+        attributed = result.fraction(CaseType.RELATIONSHIP_OVERRIDE) + \
+            result.fraction(CaseType.PEERING_TYPE_OVERRIDE)
+        assert result.fraction(CaseType.RELATIONSHIP_OVERRIDE) >= \
+            result.fraction(CaseType.PEERING_TYPE_OVERRIDE)
+        assert attributed >= 0.15
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return fig6.run(small_world)
+
+    def test_sweep_covers_3_to_6(self, result):
+        assert set(result.sweep_latencies) == {3, 4, 5, 6}
+
+    def test_chosen_k_beats_k3(self, result):
+        assert result.plan.k > 3
+        assert result.sweep_latencies[result.plan.k] <= result.sweep_latencies[3]
+
+    def test_reopt_partition_is_geographic(self, result):
+        region_of = result.plan.region_of_site
+        assert region_of["AMS"] == region_of["FRA"]
+        assert region_of["GRU"] == region_of["POA"]
+        assert region_of["AMS"] != region_of["SIN"]
+
+    def test_africa_separated_from_europe(self, result):
+        """§6.1: ReOpt discovers a separate African region."""
+        region_of = result.plan.region_of_site
+        assert region_of["JNB"] == region_of["CPT"]
+        assert region_of["JNB"] != region_of["AMS"]
+
+    def test_regional_beats_global_on_average(self, result):
+        """§6.2's potential claim, aggregated: mean 90th-pct reduction
+        across areas is clearly positive."""
+        reductions = [
+            result.reduction_at_p90(a)
+            for a in AREAS
+            if result.reduction_at_p90(a) is not None
+        ]
+        assert reductions
+        assert sum(reductions) / len(reductions) > 0.05
+
+    def test_direct_and_route53_are_close(self, result):
+        """Fig. 6b: commercial country-level DNS mapping costs little."""
+        for area in AREAS:
+            direct = result.series["direct"].get(area)
+            r53 = result.series["route53"].get(area)
+            if direct is None or r53 is None:
+                continue
+            assert r53.percentile(50) <= direct.percentile(50) * 1.5 + 10
+
+
+class TestTable5and6:
+    def test_table5_pipeline(self, small_world):
+        result = table5.run(small_world)
+        assert result.hostname_sets.summary()["Edgio-3"] == 50
+        assert result.hostname_sets.summary()["Imperva-6"] == 78
+        assert "Regional Anycast" in result.render()
+
+    def test_table6_representative_hostnames_generalise(self, small_world):
+        result = table6.run(small_world)
+        for hostset, by_area in result.cells.items():
+            for area, cells in by_area.items():
+                rep, others = cells[50]
+                # Appendix C: representative and other hostnames agree.
+                assert rep == pytest.approx(others, rel=0.25, abs=8.0)
+
+
+class TestWorldInfrastructure:
+    def test_ping_cache_is_shared(self, small_world):
+        addr = small_world.imperva.ns.address
+        assert small_world.ping_all(addr) is small_world.ping_all(addr)
+
+    def test_resolve_cache_is_shared(self, small_world):
+        a = small_world.resolve_all(small_world.im6_service, DnsMode.LDNS)
+        b = small_world.resolve_all(small_world.im6_service, DnsMode.LDNS)
+        assert a is b
+
+    def test_get_world_caches_by_name(self):
+        from repro.experiments.config import SMALL
+        from repro.experiments.world import get_world
+
+        assert get_world(SMALL) is get_world(SMALL)
+
+    def test_world_reachability_of_all_regional_prefixes(self, small_world):
+        """§4.5: every probe can reach every regional IP."""
+        im6 = small_world.imperva.im6
+        for region in im6.region_names:
+            pings = small_world.ping_all(im6.address_of_region(region))
+            reachable = sum(1 for r in pings.values() if r.reachable)
+            assert reachable == len(pings)

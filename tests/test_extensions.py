@@ -1,0 +1,92 @@
+"""Tests for the §5.2 tails analysis, longitudinal stability, and plots."""
+
+import pytest
+
+from repro.analysis.asciiplot import render_cdf_plot
+from repro.analysis.cdf import EmpiricalCDF
+from repro.experiments import longitudinal, sec52_tails
+
+
+class TestSec52Tails:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return sec52_tails.run(small_world)
+
+    def test_categories_partition_affected_groups(self, result):
+        assert result.set1 + result.set2 == result.affected_groups
+        assert 0 < result.affected_groups < result.total_groups
+
+    def test_rigid_mapping_is_a_real_cause(self, result):
+        """§5.2: a substantial share of set-1 groups received the correct
+        region — the rigid geographic mapping itself is the cause."""
+        if result.set1 >= 5:
+            assert result.set1_correct_region > 0
+
+    def test_set2_causes_identified(self, result):
+        if result.set2:
+            assert (result.set2_cross_region_catchment
+                    + result.set2_poor_connectivity) == result.set2
+
+    def test_render_contains_categories(self, result):
+        text = result.render()
+        assert "rigid mapping" in text
+        assert "cross-region" in text
+
+
+class TestLongitudinal:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return longitudinal.run(small_world, campaigns=3)
+
+    def test_partitions_stable_across_campaigns(self, result):
+        """§4.4: 'the sites that announce their regional IP prefixes in
+        this two-month period remain the same'."""
+        assert result.all_stable
+
+    def test_covers_both_cdns(self, result):
+        assert set(result.observations) == {"Edgio-3", "Imperva-6"}
+        assert set(result.observations["Imperva-6"]) == {
+            "APAC", "CA", "EMEA", "LATAM", "RU", "US",
+        }
+
+    def test_each_region_observed_every_campaign(self, result):
+        for regions in result.observations.values():
+            for campaigns in regions.values():
+                assert len(campaigns) == result.campaigns
+
+    def test_render(self, result):
+        assert "stable" in result.render()
+
+
+class TestAsciiPlot:
+    def test_renders_axes_and_legend(self):
+        plot = render_cdf_plot(
+            {"a": EmpiricalCDF.of([10.0, 20.0, 30.0]),
+             "b": EmpiricalCDF.of([15.0, 25.0, 50.0])},
+            width=40, height=8, title="t",
+        )
+        lines = plot.splitlines()
+        assert lines[0] == "t"
+        assert any("1.00" in l for l in lines)
+        assert any("0.00" in l for l in lines)
+        assert "o a" in lines[-1] and "x b" in lines[-1]
+
+    def test_respects_x_max(self):
+        plot = render_cdf_plot(
+            {"a": EmpiricalCDF.of([5.0])}, width=30, height=6, x_max=100.0
+        )
+        assert "100 ms" in plot
+
+    def test_rejects_empty_and_tiny(self):
+        with pytest.raises(ValueError):
+            render_cdf_plot({})
+        with pytest.raises(ValueError):
+            render_cdf_plot({"a": EmpiricalCDF.of([1.0])}, width=5, height=2)
+
+    def test_experiment_plot_methods(self, small_world):
+        from repro.experiments import fig4, fig6
+
+        plot4 = fig4.run(small_world).render_plot()
+        assert "EMEA" in plot4
+        plot6 = fig6.run(small_world).render_plot()
+        assert "fig6c" in plot6

@@ -1,0 +1,144 @@
+"""Unit tests for coordinates, distance, and the latency model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    FIBER_KM_PER_MS_RTT,
+    GeoPoint,
+    centroid,
+    great_circle_km,
+    midpoint,
+    min_rtt_ms,
+    propagation_delay_ms,
+)
+
+points = st.builds(
+    GeoPoint,
+    lat=st.floats(min_value=-90, max_value=90, allow_nan=False),
+    lon=st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+class TestGeoPoint:
+    def test_rejects_out_of_range_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_rejects_out_of_range_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 180.5)
+
+    def test_is_hashable_and_value_equal(self):
+        assert GeoPoint(1.0, 2.0) == GeoPoint(1.0, 2.0)
+        assert hash(GeoPoint(1.0, 2.0)) == hash(GeoPoint(1.0, 2.0))
+
+    def test_unit_vector_has_unit_norm(self):
+        x, y, z = GeoPoint(37.77, -122.42).unit_vector()
+        assert math.isclose(x * x + y * y + z * z, 1.0, rel_tol=1e-12)
+
+
+class TestGreatCircle:
+    def test_zero_for_identical_points(self):
+        p = GeoPoint(48.86, 2.35)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_known_distance_paris_newyork(self):
+        paris = GeoPoint(48.86, 2.35)
+        new_york = GeoPoint(40.71, -74.01)
+        km = great_circle_km(paris, new_york)
+        # Published great-circle distance is about 5 837 km.
+        assert 5700 < km < 5950
+
+    def test_antipodal_distance_is_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert math.isclose(
+            great_circle_km(a, b), math.pi * EARTH_RADIUS_KM, rel_tol=1e-9
+        )
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert math.isclose(
+            great_circle_km(a, b), great_circle_km(b, a), abs_tol=1e-9
+        )
+
+    @given(points, points)
+    def test_bounded_by_half_circumference(self, a, b):
+        km = great_circle_km(a, b)
+        assert 0.0 <= km <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        ab = great_circle_km(a, b)
+        bc = great_circle_km(b, c)
+        ac = great_circle_km(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestLatencyModel:
+    def test_papers_calibration_100km_per_ms(self):
+        assert min_rtt_ms(100.0) == pytest.approx(1.0)
+        assert min_rtt_ms(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            min_rtt_ms(-1.0)
+
+    def test_one_way_delay_is_half_rtt(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(10.0, 10.0)
+        assert propagation_delay_ms(a, b) == pytest.approx(a.rtt_ms(b) / 2.0)
+
+    def test_rtt_ms_uses_constant(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 1.0)
+        km = great_circle_km(a, b)
+        assert a.rtt_ms(b) == pytest.approx(km / FIBER_KM_PER_MS_RTT)
+
+
+class TestMidpointCentroid:
+    def test_midpoint_on_equator(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 90.0)
+        m = midpoint(a, b)
+        assert m.lat == pytest.approx(0.0, abs=1e-9)
+        assert m.lon == pytest.approx(45.0, abs=1e-9)
+
+    def test_midpoint_antipodal_is_deterministic(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        assert midpoint(a, b) == midpoint(a, b)
+
+    def test_centroid_of_single_point_is_that_point(self):
+        p = GeoPoint(12.0, 34.0)
+        c = centroid([p])
+        assert c.lat == pytest.approx(12.0, abs=1e-9)
+        assert c.lon == pytest.approx(34.0, abs=1e-9)
+
+    def test_centroid_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    @given(st.lists(points, min_size=1, max_size=8))
+    def test_centroid_minimises_total_squared_chord_distance(self, pts):
+        """The normalised-mean centroid is the exact minimiser of total
+        squared chord (unit-vector Euclidean) distance on the sphere, so
+        no input point can beat it."""
+        c = centroid(pts)
+
+        def cost(q):
+            qx, qy, qz = q.unit_vector()
+            total = 0.0
+            for p in pts:
+                px, py, pz = p.unit_vector()
+                total += (qx - px) ** 2 + (qy - py) ** 2 + (qz - pz) ** 2
+            return total
+
+        best_input = min(cost(p) for p in pts)
+        assert cost(c) <= best_input + 1e-9

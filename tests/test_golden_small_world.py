@@ -1,0 +1,69 @@
+"""Golden-value regression tests on the small world.
+
+These pin a handful of *calibration-bearing* quantities to tight ranges.
+Unlike the shape assertions elsewhere, a failure here most likely means
+someone changed a default parameter or an RNG consumption order without
+meaning to; if the change is intentional, update the ranges and the
+documented numbers in EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.dnssim.resolver import DnsMode
+
+
+class TestGoldenValues:
+    def test_world_shape(self, small_world):
+        assert small_world.topology.num_nodes == 659
+        assert len(small_world.usable_probes) == 775
+        assert len(small_world.groups) == 272
+
+    def test_imperva_enumeration(self, small_world):
+        sites = set()
+        for mapping in small_world.enumerate_deployment_sites(
+            small_world.imperva.im6
+        ).values():
+            sites.update(c.iata for c in mapping.sites)
+        assert 44 <= len(sites) <= 48
+
+    def test_ns_global_latency_band(self, small_world):
+        from repro.analysis.cdf import percentile
+
+        rtts = list(
+            small_world.group_median_rtt(small_world.imperva.ns.address).values()
+        )
+        assert 25 <= percentile(rtts, 50) <= 45
+        assert 85 <= percentile(rtts, 90) <= 130
+
+    def test_im6_dns_answers_cover_six_regions(self, small_world):
+        answers = small_world.resolve_all(small_world.im6_service, DnsMode.LDNS)
+        assert len(set(answers.values())) == 6
+
+    def test_fig1_exact_inflation(self):
+        from repro.experiments import fig1
+
+        result = fig1.run()
+        assert result.global_rtt_ms == pytest.approx(181, abs=3)
+        assert result.regional_rtt_ms == pytest.approx(3, abs=2)
+
+    def test_fig7_exact_inflation(self):
+        from repro.experiments import fig7
+
+        result = fig7.run()
+        assert result.global_rtt_ms == pytest.approx(250, abs=3)
+        assert result.regional_rtt_ms == pytest.approx(15, abs=3)
+
+    def test_comparison_retention_band(self, small_world):
+        from repro.experiments.compare53 import build_comparison
+
+        comparison = build_comparison(small_world)
+        assert 0.70 <= comparison.filter_stats.retained_fraction <= 0.95
+
+    def test_measurement_determinism_golden(self, small_world):
+        """One concrete RTT, pinned: catches accidental RNG-order or
+        latency-model changes immediately."""
+        probe = small_world.usable_probes[0]
+        result = small_world.engine.ping(probe, small_world.imperva.ns.address)
+        again = small_world.engine.ping(probe, small_world.imperva.ns.address)
+        assert result.rtt_ms == again.rtt_ms
+        assert result.rtt_ms is not None and 1.0 < result.rtt_ms < 500.0

@@ -1,0 +1,103 @@
+"""Tests for iGreedy enumeration and its comparison experiment."""
+
+import pytest
+
+from repro.experiments import igreedy_compare
+from repro.geo.atlas import load_default_atlas
+from repro.geo.coords import GeoPoint
+from repro.measurement.probes import Probe
+from repro.netaddr.ipv4 import IPv4Address
+from repro.sitemap.igreedy import (
+    LatencyDisc,
+    igreedy_enumerate,
+    latency_disc,
+)
+
+ATLAS = load_default_atlas()
+
+
+def make_probe(pid: int, point: GeoPoint, country: str = "DE") -> Probe:
+    return Probe(
+        probe_id=pid,
+        addr=IPv4Address(1_000_000 + pid),
+        as_node=1,
+        country=country,
+        location=point,
+        reported_location=point,
+        city_code="FRA",
+        stable=True,
+        geocode_reliable=True,
+        last_mile_ms=1.0,
+    )
+
+
+class TestLatencyDisc:
+    def test_radius_follows_calibration(self):
+        p = make_probe(1, GeoPoint(50.0, 8.0))
+        disc = latency_disc(p, 10.0)
+        assert disc.radius_km == pytest.approx(1000.0)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            latency_disc(make_probe(1, GeoPoint(0, 0)), -1.0)
+
+    def test_overlap_symmetric(self):
+        a = LatencyDisc(1, GeoPoint(0, 0), 600.0)
+        b = LatencyDisc(2, GeoPoint(0, 10), 600.0)  # ~1113 km apart
+        assert a.overlaps(b) and b.overlaps(a)
+        c = LatencyDisc(3, GeoPoint(0, 30), 600.0)  # ~3340 km away
+        assert not a.overlaps(c)
+
+
+class TestEnumeration:
+    def test_two_far_tight_discs_give_two_instances(self):
+        # Probes in Frankfurt and Tokyo both measuring 5 ms cannot be
+        # served by one location.
+        fra = make_probe(1, ATLAS.get("FRA").location)
+        nrt = make_probe(2, ATLAS.get("NRT").location, country="JP")
+        result = igreedy_enumerate([fra, nrt], {1: 5.0, 2: 5.0}, ATLAS)
+        assert result.count == 2
+        cities = {c.iata for c in result.cities()}
+        assert cities == {"FRA", "NRT"}
+
+    def test_nearby_sites_collapse(self):
+        """The §7 failure mode: Amsterdam and Frankfurt probes with RTTs
+        whose discs overlap yield a single instance."""
+        ams = make_probe(1, ATLAS.get("AMS").location, country="NL")
+        fra = make_probe(2, ATLAS.get("FRA").location)
+        # 5 ms ⇒ 500 km radius; AMS-FRA is ~365 km apart ⇒ discs overlap.
+        result = igreedy_enumerate([ams, fra], {1: 5.0, 2: 5.0}, ATLAS)
+        assert result.count == 1
+
+    def test_huge_discs_are_uninformative(self):
+        p = make_probe(1, ATLAS.get("FRA").location)
+        result = igreedy_enumerate([p], {1: 200.0}, ATLAS,
+                                   max_radius_km=5000.0)
+        assert result.count == 0
+
+    def test_probes_without_rtts_skipped(self):
+        p = make_probe(1, ATLAS.get("FRA").location)
+        result = igreedy_enumerate([p], {}, ATLAS)
+        assert result.count == 0
+
+    def test_deterministic(self):
+        probes = [
+            make_probe(i, ATLAS.cities[i * 7].location,
+                       country=ATLAS.cities[i * 7].country)
+            for i in range(10)
+        ]
+        rtts = {i: 4.0 + i for i in range(10)}
+        a = igreedy_enumerate(probes, rtts, ATLAS)
+        b = igreedy_enumerate(probes, rtts, ATLAS)
+        assert [i.disc.probe_id for i in a.instances] == \
+            [i.disc.probe_id for i in b.instances]
+
+
+class TestCompareExperiment:
+    def test_igreedy_maps_fewer_sites_than_phop(self, small_world):
+        """§7: 'iGreedy mapped fewer published CDN sites than the method
+        we used in this work'."""
+        result = igreedy_compare.run(small_world)
+        assert len(result.igreedy_sites) < len(result.phop_sites)
+        assert result.published_count == 50
+        assert "iGreedy" in result.render()

@@ -1,0 +1,75 @@
+"""Tests for the looking glass and the probe-sweep experiment."""
+
+import pytest
+
+from repro.experiments import probe_sweep
+from repro.routing.inspect import show_route, summarize_catchment
+
+
+class TestLookingGlass:
+    @pytest.fixture(scope="class")
+    def table(self, small_world):
+        return small_world.engine.table_for(
+            small_world.tangled.global_deployment.address
+        )
+
+    def test_show_route_selected_marker(self, small_world, table):
+        probe = small_world.usable_probes[0]
+        text = show_route(small_world.topology, table, probe.as_node)
+        assert " > path [" in text
+        assert "tier=" in text and "hops=" in text and "via=" in text
+
+    def test_show_route_unreachable(self, small_world):
+        from repro.netaddr.ipv4 import IPv4Prefix
+        from repro.routing.engine import RoutingEngine
+        from repro.routing.route import Announcement, OriginSpec
+
+        # A prefix announced to nobody: everyone but the origin is empty.
+        site = small_world.tangled.site("AMS")
+        ann = Announcement(
+            prefix=IPv4Prefix.parse("198.18.99.0/24"),
+            origins=(OriginSpec(site_node=site.node_id,
+                                neighbors=frozenset()),),
+        )
+        table = RoutingEngine(small_world.topology).compute(ann)
+        probe = small_world.usable_probes[0]
+        text = show_route(small_world.topology, table, probe.as_node)
+        assert "(no route)" in text
+
+    def test_catchment_summary_counts_all_ases(self, small_world, table):
+        summary = summarize_catchment(small_world.topology, table)
+        total = sum(summary.as_counts.values()) + summary.unreachable_ases
+        # Every non-origin node is either caught or unreachable.
+        origins = len(table.announcement.origins)
+        assert total == small_world.topology.num_nodes - origins
+
+    def test_catchment_summary_render(self, small_world, table):
+        summary = summarize_catchment(small_world.topology, table)
+        text = summary.render(small_world.topology)
+        assert "tangled-" in text and "%" in text
+
+
+class TestProbeSweep:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return probe_sweep.run(small_world, sizes=(50, 150, 400, 5000))
+
+    def test_completeness_monotone_in_sample_size(self, result):
+        sizes = sorted(result.curve)
+        found = [result.curve[s][0] for s in sizes]
+        assert found == sorted(found)
+
+    def test_small_samples_miss_sites(self, result):
+        sizes = sorted(result.curve)
+        assert result.completeness_at(sizes[0]) < result.completeness_at(sizes[-1])
+
+    def test_enumeration_bounded_by_true_catchments(self, result):
+        for found, true_catchments in result.curve.values():
+            assert found <= true_catchments + 1  # +1: closest-site merges
+
+    def test_oversized_sample_clamped(self, result, small_world):
+        largest = max(result.curve)
+        assert largest <= len(small_world.usable_probes)
+
+    def test_render(self, result):
+        assert "Completeness" in result.render()

@@ -1,0 +1,138 @@
+"""Tests for load-distribution analysis and the shortest-path ablation."""
+
+import pytest
+
+from repro.analysis.load import LoadDistribution, load_distribution
+from repro.experiments import load_balance
+from repro.measurement.engine import PingResult
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.routing.ablation import compute_shortest_path_table
+from repro.routing.engine import RoutingEngine
+from repro.routing.route import Announcement, OriginSpec
+
+ADDR = IPv4Address.parse("198.18.0.1")
+
+
+def ping(pid, catchment):
+    return PingResult(probe_id=pid, target=ADDR, rtt_ms=10.0,
+                      catchment=catchment)
+
+
+class TestLoadDistribution:
+    def test_shares_and_cv(self):
+        pings = {i: ping(i, 1 if i < 6 else 2) for i in range(10)}
+        dist = load_distribution("t", pings, announced_sites=[1, 2, 3])
+        assert dist.total == 10
+        assert dist.share_of(1) == pytest.approx(0.6)
+        assert dist.max_share == pytest.approx(0.6)
+        assert dist.empty_sites == 1
+        assert dist.num_sites == 3
+        assert dist.coefficient_of_variation > 0
+
+    def test_even_spread_has_low_cv(self):
+        pings = {i: ping(i, i % 4) for i in range(40)}
+        dist = load_distribution("t", pings, announced_sites=[0, 1, 2, 3])
+        assert dist.coefficient_of_variation == pytest.approx(0.0)
+
+    def test_unknown_catchment_rejected(self):
+        pings = {1: ping(1, 99)}
+        with pytest.raises(ValueError):
+            load_distribution("t", pings, announced_sites=[1])
+
+    def test_empty_inputs(self):
+        dist = LoadDistribution(label="t", load={}, empty_sites=0)
+        assert dist.total == 0
+        assert dist.max_share == 0.0
+        assert dist.coefficient_of_variation == 0.0
+
+
+class TestLoadBalanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        return load_balance.run(small_world)
+
+    def test_same_probe_count_under_both(self, result):
+        totals = {d.total for d in result.distributions.values()}
+        assert len(totals) == 1
+
+    def test_no_hot_spot_dominates(self, result):
+        """Both configurations spread load well below a single-site
+        monopoly — the property the paper's closing argument relies on."""
+        for dist in result.distributions.values():
+            assert dist.max_share < 0.35
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Load CV" in text and "largest catchments" in text
+
+
+class TestShortestPathAblation:
+    @pytest.fixture(scope="class")
+    def tables(self, small_world):
+        announcement = small_world.imperva.ns.announcement()
+        shortest = compute_shortest_path_table(
+            small_world.topology, announcement
+        )
+        policy = RoutingEngine(small_world.topology).compute(announcement)
+        return shortest, policy
+
+    def test_same_reachability(self, tables, small_world):
+        shortest, policy = tables
+        # Shortest-path ignores export rules, so it reaches at least as
+        # many nodes as policy routing.
+        assert set(policy.best) <= set(shortest.best)
+
+    def test_shortest_hops_never_longer(self, tables):
+        shortest, policy = tables
+        for node, choice in policy.best.items():
+            assert shortest.best[node].hops <= choice.hops
+
+    def test_paths_are_loop_free(self, tables):
+        shortest, _ = tables
+        for choice in shortest.best.values():
+            for route in choice.routes:
+                assert len(set(route.path)) == len(route.path)
+
+    def test_policy_latency_dominates_shortest(self, small_world):
+        """The headline of the ablation: removing policy removes the
+        catchment inefficiency (mean latency drops)."""
+        from repro.routing.forwarding import trace_forwarding_path
+
+        announcement = small_world.imperva.ns.announcement()
+        shortest = compute_shortest_path_table(
+            small_world.topology, announcement
+        )
+        policy = small_world.engine.table_for(small_world.imperva.ns.address)
+
+        def mean_rtt(table):
+            total = count = 0
+            for p in small_world.usable_probes[:300]:
+                fp = trace_forwarding_path(
+                    small_world.topology, table, p.as_node, p.location,
+                    p.last_mile_ms,
+                )
+                if fp is not None:
+                    total += fp.rtt_ms
+                    count += 1
+            return total / count
+
+        assert mean_rtt(policy) >= mean_rtt(shortest) * 0.95
+
+    def test_unknown_origin_rejected(self, small_world):
+        bad = Announcement(
+            prefix=IPv4Prefix.parse("198.18.250.0/24"),
+            origins=(OriginSpec(site_node=987654321),),
+        )
+        with pytest.raises(ValueError):
+            compute_shortest_path_table(small_world.topology, bad)
+
+    def test_origin_restrictions_respected(self, small_world):
+        site = world_site = small_world.imperva.network.site("AMS")
+        announcement = Announcement(
+            prefix=IPv4Prefix.parse("198.18.251.0/24"),
+            origins=(OriginSpec(site_node=site.node_id,
+                                neighbors=frozenset()),),
+        )
+        table = compute_shortest_path_table(small_world.topology, announcement)
+        # The origin announces to nobody: only it holds a route.
+        assert set(table.best) == {site.node_id}

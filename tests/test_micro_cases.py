@@ -1,0 +1,64 @@
+"""Tests for the Fig. 1 / Fig. 7 micro-scenarios."""
+
+import pytest
+
+from repro.experiments import fig1, fig7
+from repro.experiments.micro import fig1_scenario, fig7_scenario
+
+
+class TestFig1Scenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig1_scenario()
+
+    def test_global_anycast_reaches_singapore(self, scenario):
+        city, rtt = scenario.catchment_and_rtt(scenario.global_addr)
+        assert city.iata == "SIN"
+        assert rtt > 100
+
+    def test_regional_prefix_reaches_ashburn(self, scenario):
+        city, rtt = scenario.catchment_and_rtt(scenario.regional_addr)
+        assert city.iata == "IAD"
+        assert rtt < 15
+
+    def test_experiment_wrapper(self):
+        result = fig1.run()
+        assert result.experiment_id == "fig1"
+        assert result.inflation_ms > 100
+        assert "SIN" in result.global_site
+        assert "IAD" in result.regional_site
+        assert "Global anycast" in result.render()
+
+
+class TestFig7Scenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fig7_scenario()
+
+    def test_public_peer_pulls_probe_to_singapore(self, scenario):
+        city, rtt = scenario.catchment_and_rtt(scenario.global_addr)
+        assert city.iata == "SIN"
+        assert rtt > 150
+
+    def test_route_server_wins_for_regional_prefix(self, scenario):
+        city, rtt = scenario.catchment_and_rtt(scenario.regional_addr)
+        assert city.iata == "FRA"
+        assert rtt < 40
+
+    def test_regional_route_is_route_server_tier(self, scenario):
+        from repro.routing.route import PrefTier
+
+        table = scenario.engine.table_for(scenario.regional_addr)
+        route = table.route_at(scenario.probe.as_node)
+        assert route.tier is PrefTier.RS_PEER
+
+    def test_global_route_is_public_peer_tier(self, scenario):
+        from repro.routing.route import PrefTier
+
+        table = scenario.engine.table_for(scenario.global_addr)
+        route = table.route_at(scenario.probe.as_node)
+        assert route.tier is PrefTier.PEER
+
+    def test_experiment_wrapper(self):
+        result = fig7.run()
+        assert result.inflation_ms > 100

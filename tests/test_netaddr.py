@@ -1,0 +1,166 @@
+"""Unit and property tests for IPv4 addressing and allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netaddr.allocator import AddressPlanError, PrefixAllocator
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+addresses = st.builds(IPv4Address, st.integers(min_value=0, max_value=(1 << 32) - 1))
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        assert str(IPv4Address.parse("192.0.2.1")) == "192.0.2.1"
+        assert str(IPv4Address.parse("0.0.0.0")) == "0.0.0.0"
+        assert str(IPv4Address.parse("255.255.255.255")) == "255.255.255.255"
+
+    @pytest.mark.parametrize(
+        "bad", ["256.0.0.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "01.2.3.4", ""]
+    )
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            IPv4Address.parse(bad)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+    def test_ordering_and_addition(self):
+        a = IPv4Address.parse("10.0.0.1")
+        assert a + 1 == IPv4Address.parse("10.0.0.2")
+        assert a < a + 1
+        assert int(a) == a.value
+
+    @given(addresses)
+    def test_str_parse_roundtrip_property(self, addr):
+        assert IPv4Address.parse(str(addr)) == addr
+
+
+class TestIPv4Prefix:
+    def test_parse_and_str_roundtrip(self):
+        p = IPv4Prefix.parse("198.51.100.0/24")
+        assert str(p) == "198.51.100.0/24"
+        assert p.num_addresses == 256
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse("198.51.100.1/24")
+
+    @pytest.mark.parametrize("bad", ["1.2.3.0", "1.2.3.0/33", "1.2.3.0/-1", "x/24"])
+    def test_parse_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse(bad)
+
+    def test_contains_address(self):
+        p = IPv4Prefix.parse("10.1.0.0/16")
+        assert IPv4Address.parse("10.1.255.255") in p
+        assert IPv4Address.parse("10.2.0.0") not in p
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.3.0.0/16")
+        assert inner in outer
+        assert outer not in inner
+
+    def test_contains_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            IPv4Prefix.parse("10.0.0.0/8").contains("10.0.0.1")  # type: ignore
+
+    def test_address_offset_bounds(self):
+        p = IPv4Prefix.parse("192.0.2.0/30")
+        assert str(p.address(3)) == "192.0.2.3"
+        with pytest.raises(IndexError):
+            p.address(4)
+
+    def test_subnets(self):
+        p = IPv4Prefix.parse("10.0.0.0/22")
+        subs = list(p.subnets(24))
+        assert len(subs) == 4
+        assert all(s in p for s in subs)
+        assert subs[0].network_address == p.network_address
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(ValueError):
+            list(IPv4Prefix.parse("10.0.0.0/24").subnets(16))
+
+    def test_overlaps(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.5.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_mask_invariant_property(self, value, length):
+        """Any value masked to a prefix length is a valid prefix whose
+        network address is itself."""
+        mask = ((1 << 32) - 1) << (32 - length) & ((1 << 32) - 1) if length else 0
+        p = IPv4Prefix(value & mask, length)
+        assert p.network_address.value == value & mask
+        assert str(IPv4Prefix.parse(str(p))) == str(p)
+
+
+class TestPrefixAllocator:
+    def test_allocations_do_not_overlap(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        blocks = [alloc.allocate(24) for _ in range(10)] + [alloc.allocate(20)]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_allocations_stay_in_pool(self):
+        pool = IPv4Prefix.parse("172.16.0.0/12")
+        alloc = PrefixAllocator(pool)
+        for _ in range(50):
+            assert alloc.allocate(20) in pool
+
+    def test_exhaustion_raises(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("192.0.2.0/24"))
+        alloc.allocate(25)
+        alloc.allocate(25)
+        with pytest.raises(AddressPlanError):
+            alloc.allocate(25)
+
+    def test_cannot_allocate_larger_than_pool(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AddressPlanError):
+            alloc.allocate(8)
+
+    def test_invalid_length_rejected(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        with pytest.raises(AddressPlanError):
+            alloc.allocate(33)
+
+    def test_allocate_many(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"))
+        blocks = alloc.allocate_many(24, 4)
+        assert len(blocks) == 4
+        with pytest.raises(AddressPlanError):
+            alloc.allocate_many(24, -1)
+
+    def test_subpool_is_disjoint_from_future_allocations(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/8"))
+        sub = alloc.subpool(16)
+        nxt = alloc.allocate(16)
+        assert not sub.pool.overlaps(nxt)
+
+    def test_determinism(self):
+        a = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/8"))
+        b = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/8"))
+        seq_a = [a.allocate(n) for n in (24, 20, 24, 30)]
+        seq_b = [b.allocate(n) for n in (24, 20, 24, 30)]
+        assert seq_a == seq_b
+
+    @given(st.lists(st.integers(min_value=18, max_value=30), max_size=30))
+    def test_property_no_overlap_any_sequence(self, lengths):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/8"))
+        blocks = [alloc.allocate(n) for n in lengths]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert not a.overlaps(b)

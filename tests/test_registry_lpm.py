@@ -1,0 +1,97 @@
+"""Tests for the service registry's longest-prefix-match behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measurement.engine import ServiceRegistry
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.routing.route import Announcement, OriginSpec
+
+
+def ann(prefix_text: str, origin: int = 1) -> Announcement:
+    return Announcement(
+        prefix=IPv4Prefix.parse(prefix_text),
+        origins=(OriginSpec(site_node=origin),),
+    )
+
+
+class TestLongestPrefixMatch:
+    def test_any_address_in_prefix_resolves(self):
+        registry = ServiceRegistry()
+        a = ann("198.51.100.0/24")
+        registry.register(a)
+        assert registry.lookup(IPv4Address.parse("198.51.100.1")) is a
+        assert registry.lookup(IPv4Address.parse("198.51.100.254")) is a
+        assert registry.lookup(IPv4Address.parse("198.51.101.1")) is None
+
+    def test_more_specific_shadows_less_specific(self):
+        registry = ServiceRegistry()
+        coarse = ann("10.0.0.0/8", origin=1)
+        fine = ann("10.9.0.0/16", origin=2)
+        registry.register(coarse)
+        registry.register(fine)
+        assert registry.lookup(IPv4Address.parse("10.9.3.4")) is fine
+        assert registry.lookup(IPv4Address.parse("10.8.3.4")) is coarse
+
+    def test_insert_order_irrelevant(self):
+        for order in ([0, 1], [1, 0]):
+            registry = ServiceRegistry()
+            entries = [ann("10.0.0.0/8", 1), ann("10.9.0.0/16", 2)]
+            for i in order:
+                registry.register(entries[i])
+            assert registry.lookup(IPv4Address.parse("10.9.0.1")) is entries[1]
+
+    def test_duplicate_registration_idempotent(self):
+        registry = ServiceRegistry()
+        a = ann("198.51.100.0/24")
+        registry.register(a)
+        registry.register(a)
+        assert len(registry) == 1
+
+    def test_conflicting_registration_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(ann("198.51.100.0/24", origin=1))
+        with pytest.raises(ValueError):
+            registry.register(ann("198.51.100.0/24", origin=2))
+
+    def test_empty_registry(self):
+        registry = ServiceRegistry()
+        assert registry.lookup(IPv4Address.parse("1.2.3.4")) is None
+        assert len(registry) == 0
+        assert registry.announcements() == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=8, max_value=28),
+            ),
+            min_size=1,
+            max_size=20,
+            unique=True,
+        ),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_property_matches_linear_scan(self, raw_prefixes, probe_value):
+        """LPM must agree with the brute-force longest containing prefix."""
+        registry = ServiceRegistry()
+        announcements = []
+        for i, (value, length) in enumerate(raw_prefixes):
+            mask = ((1 << 32) - 1) << (32 - length) & ((1 << 32) - 1)
+            prefix = IPv4Prefix(value & mask, length)
+            candidate = Announcement(
+                prefix=prefix, origins=(OriginSpec(site_node=i + 1),)
+            )
+            try:
+                registry.register(candidate)
+                announcements.append(candidate)
+            except ValueError:
+                pass  # same prefix generated twice with different origins
+        addr = IPv4Address(probe_value)
+        expected = None
+        best_len = -1
+        for candidate in announcements:
+            if addr in candidate.prefix and candidate.prefix.length > best_len:
+                expected = candidate
+                best_len = candidate.prefix.length
+        assert registry.lookup(addr) is expected

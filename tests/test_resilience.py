@@ -1,0 +1,63 @@
+"""Tests for the site-withdrawal resilience analysis."""
+
+import pytest
+
+from repro.analysis.resilience import site_withdrawal_study
+from repro.experiments import resilience
+
+
+class TestWithdrawalStudy:
+    @pytest.fixture(scope="class")
+    def impacts(self, small_world):
+        return site_withdrawal_study(
+            small_world.tangled.network,
+            small_world.tangled.site_names,
+            small_world.engine,
+            small_world.usable_probes,
+        )
+
+    def test_one_impact_per_site(self, impacts, small_world):
+        assert {i.site_name for i in impacts} == set(
+            small_world.tangled.site_names
+        )
+
+    def test_full_reachability_after_any_withdrawal(self, impacts):
+        """§4.5's robustness: losing one site never strands a client —
+        anycast reconverges to the survivors."""
+        for impact in impacts:
+            assert impact.reachable_fraction == 1.0
+
+    def test_failover_lands_on_surviving_sites(self, impacts, small_world):
+        names = set(small_world.tangled.site_names)
+        for impact in impacts:
+            assert impact.site_name not in impact.failover_catchments
+            assert set(impact.failover_catchments) <= names
+
+    def test_affected_counts_sum_to_catchment_sizes(self, impacts, small_world):
+        total_affected = sum(i.affected_probes for i in impacts)
+        # Every usable probe is in exactly one baseline catchment.
+        assert total_affected == len(small_world.usable_probes)
+
+    def test_failover_counts_match_affected(self, impacts):
+        for impact in impacts:
+            if impact.affected_probes:
+                assert sum(impact.failover_catchments.values()) == \
+                    impact.affected_probes
+
+    def test_input_validation(self, small_world):
+        with pytest.raises(ValueError):
+            site_withdrawal_study(small_world.tangled.network, ["AMS"],
+                                  small_world.engine,
+                                  small_world.usable_probes)
+        with pytest.raises(ValueError):
+            site_withdrawal_study(small_world.tangled.network,
+                                  small_world.tangled.site_names,
+                                  small_world.engine, [])
+
+
+class TestResilienceExperiment:
+    def test_runs_and_renders(self, small_world):
+        result = resilience.run(small_world)
+        assert result.min_reachable_fraction == 1.0
+        text = result.render()
+        assert "Withdrawn" in text and "Failover" in text

@@ -1,0 +1,292 @@
+"""Property-based verification of the BGP engine against a brute-force
+valley-free oracle.
+
+Hypothesis generates small random topologies; the oracle enumerates every
+simple path from each node to the origins, checks valley-freeness under
+Gao-Rexford export rules, and computes the best achievable (preference
+tier, path length) over *policy-permitted* paths.  Against that oracle
+the engine must satisfy:
+
+- **soundness** — every selected route is a valley-free, loop-free path;
+- **reachability equivalence** — a node holds a route iff some
+  valley-free path exists;
+- **tier optimality** — the selected preference tier equals the best
+  tier any policy-permitted path achieves (an exporter with a
+  customer-tier candidate always *selects* a customer-tier route, so
+  tier availability propagates exactly);
+- **hop lower bound** — the selected path is at least as long as the
+  oracle's optimum.  It may legitimately be *longer*: BGP propagates
+  each node's selected best only, so a short provider-path through a
+  node whose own best is a peer route is never advertised (hypothesis
+  found this — see test_hidden_shorter_path_regression).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.atlas import load_default_atlas
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.routing.engine import RoutingEngine
+from repro.routing.route import Announcement, OriginSpec, PrefTier
+from repro.topology.asys import (
+    AutonomousSystem,
+    Interconnect,
+    Link,
+    LinkKind,
+    PoP,
+    Tier,
+)
+from repro.topology.graph import Topology
+from repro.topology.ixp import IXP
+
+ATLAS = load_default_atlas()
+PREFIX = IPv4Prefix.parse("198.18.0.0/24")
+_CITIES = [c.iata for c in ATLAS.cities[:12]]
+
+# A generated topology description: n nodes; for each unordered pair a
+# kind in {None, "transit-ab" (a customer of b), "transit-ba", "peer",
+# "rs"}.
+_EDGE_KINDS = [None, "transit-ab", "transit-ba", "peer", "rs"]
+
+
+@st.composite
+def small_topologies(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    pairs = list(itertools.combinations(range(n), 2))
+    kinds = draw(
+        st.lists(st.sampled_from(_EDGE_KINDS), min_size=len(pairs),
+                 max_size=len(pairs))
+    )
+    # Transit edges must stay acyclic: orient every customer->provider
+    # edge from the higher index to the lower (provider = lower index).
+    edges = []
+    for (a, b), kind in zip(pairs, kinds):
+        if kind is None:
+            continue
+        if kind == "transit-ab":
+            edges.append((b, a, "transit"))  # b is the customer of a
+        elif kind == "transit-ba":
+            edges.append((b, a, "transit"))
+        elif kind == "peer":
+            edges.append((a, b, "peer"))
+        else:
+            edges.append((a, b, "rs"))
+    origins = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1,
+                 max_size=2, unique=True)
+    )
+    return n, edges, origins
+
+
+def build(n, edges):
+    topo = Topology()
+    ixp = IXP(ixp_id=1, name="ix", city=ATLAS.get("FRA"),
+              lan_prefix=IPv4Prefix.parse("172.16.0.0/22"))
+    topo.add_ixp(ixp)
+    for i in range(n):
+        topo.add_node(
+            AutonomousSystem(
+                node_id=i, asn=i, name=f"as{i}", tier=Tier.TRANSIT,
+                home_country="DE",
+                pops=(PoP(city=ATLAS.get(_CITIES[i % len(_CITIES)])),),
+            )
+        )
+    addr = 10_000_000
+    for a, b, kind in edges:
+        ic = Interconnect(city=ATLAS.get("FRA"),
+                          addr_a=IPv4Address(addr), addr_b=IPv4Address(addr + 1))
+        addr += 2
+        if kind == "transit":
+            topo.add_link(Link(a=a, b=b, kind=LinkKind.TRANSIT,
+                               interconnects=(ic,)))
+        elif kind == "peer":
+            topo.add_link(Link(a=a, b=b, kind=LinkKind.PEER_PRIVATE,
+                               interconnects=(ic,)))
+        else:
+            topo.add_link(Link(a=a, b=b, kind=LinkKind.PEER_ROUTE_SERVER,
+                               interconnects=(ic,), ixp_id=1))
+    return topo
+
+
+def _relationship(topo: Topology, holder: int, neighbor: int) -> str:
+    """The holder's view of a neighbor: provider/customer/peer/rs."""
+    if neighbor in topo.providers_of(holder):
+        return "provider"
+    if neighbor in topo.customers_of(holder):
+        return "customer"
+    for peer, kind in topo.peers_of(holder):
+        if peer == neighbor:
+            return "rs" if kind is LinkKind.PEER_ROUTE_SERVER else "peer"
+    raise AssertionError(f"{neighbor} not adjacent to {holder}")
+
+
+def is_valley_free(topo: Topology, path: tuple[int, ...]) -> bool:
+    """Whether a client→origin path is exportable under Gao-Rexford.
+
+    Walking the announcement from the origin toward the client: it may go
+    up (customer→provider) any number of times, cross at most one peer or
+    route-server edge, then only go down (provider→customer).
+    """
+    flow = list(reversed(path))  # origin first
+    phase = "up"
+    for a, b in zip(flow, flow[1:]):
+        rel = _relationship(topo, a, b)  # how a sees b
+        if rel == "provider":
+            step = "up"  # a exports to its provider: only customer routes
+        elif rel in ("peer", "rs"):
+            step = "lateral"
+        else:
+            step = "down"
+        if phase == "up":
+            if step == "lateral":
+                phase = "lateral-done"
+            elif step == "down":
+                phase = "down"
+        elif phase == "lateral-done":
+            if step != "down":
+                return False
+            phase = "down"
+        else:  # down
+            if step != "down":
+                return False
+    return True
+
+
+def _tier_at_client(topo: Topology, path: tuple[int, ...]) -> PrefTier:
+    if len(path) == 1:
+        return PrefTier.ORIGIN
+    rel = _relationship(topo, path[0], path[1])
+    return {
+        "customer": PrefTier.CUSTOMER,
+        "peer": PrefTier.PEER,
+        "rs": PrefTier.RS_PEER,
+        "provider": PrefTier.PROVIDER,
+    }[rel]
+
+
+def oracle_best(topo: Topology, client: int, origins: list[int]):
+    """Best achievable (tier, -hops) over all simple valley-free paths."""
+    if client in origins:
+        return (PrefTier.ORIGIN, 0)
+    n = topo.num_nodes
+    best = None
+    stack = [(client,)]
+    while stack:
+        path = stack.pop()
+        last = path[-1]
+        if last in origins and len(path) > 1:
+            if is_valley_free(topo, path):
+                tier = _tier_at_client(topo, path)
+                key = (int(tier), -(len(path) - 1))
+                if best is None or key > best:
+                    best = key
+            continue
+        if len(path) >= n:
+            continue
+        for neighbor in topo.neighbors_of(last):
+            if neighbor not in path:
+                stack.append(path + (neighbor,))
+    return best
+
+
+@settings(max_examples=120, deadline=None)
+@given(small_topologies())
+def test_engine_matches_valley_free_oracle(spec):
+    n, edges, origins = spec
+    topo = build(n, edges)
+    announcement = Announcement(
+        prefix=PREFIX,
+        origins=tuple(OriginSpec(site_node=o) for o in origins),
+    )
+    table = RoutingEngine(topo).compute(announcement)
+    for client in range(n):
+        best = oracle_best(topo, client, origins)
+        choice = table.choice_at(client)
+        if best is None:
+            assert choice is None, (
+                f"engine routed unreachable node {client}: {choice}"
+            )
+            continue
+        assert choice is not None, (
+            f"engine missed a valid path for node {client} (oracle {best})"
+        )
+        for route in choice.routes:
+            assert is_valley_free(topo, route.path), route.path
+            assert route.path[-1] in origins
+        best_tier, neg_best_hops = best
+        assert int(choice.tier) == best_tier, (
+            f"node {client}: engine tier {choice.tier} vs oracle tier "
+            f"{best_tier} (edges={edges}, origins={origins})"
+        )
+        assert choice.hops >= -neg_best_hops, (
+            f"node {client}: engine found a shorter path than any "
+            f"policy-permitted one?! (edges={edges}, origins={origins})"
+        )
+
+
+def test_hidden_shorter_path_regression():
+    """The falsifying example hypothesis found: node 4's best is a
+    2-hop peer route, so its customer 5 never hears about the 2-hop
+    provider path 5-4-2 and correctly ends up with 3 hops."""
+    n = 6
+    edges = [(2, 0, "transit"), (0, 4, "peer"), (4, 2, "transit"),
+             (5, 4, "transit")]
+    topo = build(n, edges)
+    table = RoutingEngine(topo).compute(
+        Announcement(prefix=PREFIX, origins=(OriginSpec(site_node=2),))
+    )
+    four = table.choice_at(4)
+    assert four.tier is PrefTier.PEER  # prefers the peer route via 0
+    assert four.primary.path == (4, 0, 2)
+    five = table.choice_at(5)
+    assert five.tier is PrefTier.PROVIDER
+    # 5 inherits 4's *selected* route, not 4's shortest permitted path.
+    assert five.primary.path == (5, 4, 0, 2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_topologies())
+def test_engine_routes_are_loop_free_and_connected(spec):
+    n, edges, origins = spec
+    topo = build(n, edges)
+    announcement = Announcement(
+        prefix=PREFIX,
+        origins=tuple(OriginSpec(site_node=o) for o in origins),
+    )
+    table = RoutingEngine(topo).compute(announcement)
+    for client, choice in table.best.items():
+        for route in choice.routes:
+            assert len(set(route.path)) == len(route.path)
+            # Consecutive path elements must actually be adjacent.
+            for a, b in zip(route.path, route.path[1:]):
+                assert topo.has_link(a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_topologies())
+def test_forwarding_terminates_on_random_topologies(spec):
+    """Hot-potato forwarding must terminate at an origin from every
+    routed node, with RTT at least the fiber bound to the origin."""
+    from repro.routing.forwarding import trace_forwarding_path
+
+    n, edges, origins = spec
+    topo = build(n, edges)
+    announcement = Announcement(
+        prefix=PREFIX,
+        origins=tuple(OriginSpec(site_node=o) for o in origins),
+    )
+    table = RoutingEngine(topo).compute(announcement)
+    for client in range(n):
+        start = topo.node(client).pops[0].city.location
+        fp = trace_forwarding_path(topo, table, client, start)
+        if table.choice_at(client) is None:
+            assert fp is None
+            continue
+        assert fp is not None
+        assert fp.origin in origins
+        dest = topo.node(fp.origin).pops[0].city.location
+        assert fp.rtt_ms >= start.distance_km(dest) / 100.0 - 1e-9
+        assert fp.distance_km >= start.distance_km(dest) - 1e-6

@@ -1,0 +1,128 @@
+"""Seed-robustness: headline claims must hold on worlds we never tuned.
+
+Every calibration decision was made against the default topology seed;
+these tests rebuild small worlds with *different* seeds and check the
+paper's qualitative claims still hold, guarding against seed-overfitting.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dnssim.resolver import DnsMode
+from repro.experiments.config import SMALL
+from repro.experiments.world import World
+
+
+def _world_with_seed(seed: int) -> World:
+    cfg = dataclasses.replace(
+        SMALL,
+        name=f"robustness-{seed}",
+        topology=dataclasses.replace(SMALL.topology, seed=seed),
+    )
+    return World(cfg)
+
+
+@pytest.fixture(scope="module", params=[1001, 2002])
+def alt_world(request) -> World:
+    return _world_with_seed(request.param)
+
+
+class TestSeedRobustness:
+    def test_regional_prefixes_globally_reachable(self, alt_world):
+        """§4.5 must hold on any world: every probe reaches every
+        regional IP."""
+        im6 = alt_world.imperva.im6
+        for region in im6.region_names:
+            pings = alt_world.ping_all(im6.address_of_region(region))
+            assert all(r.reachable for r in pings.values())
+
+    def test_site_enumeration_finds_most_sites(self, alt_world):
+        mapping = alt_world.enumerate_global_sites(alt_world.imperva.ns)
+        assert len(mapping.sites) >= 0.6 * len(
+            alt_world.imperva.ns.site_names
+        )
+
+    def test_dns_maps_majority_efficiently(self, alt_world):
+        from repro.analysis.mapping import MappingClass
+        from repro.experiments.table2 import mapping_efficiency
+
+        eff = mapping_efficiency(
+            alt_world, alt_world.imperva.im6, alt_world.im6_service,
+            DnsMode.LDNS,
+        )
+        efficient = sum(
+            1 for g in eff.groups if g.outcome is MappingClass.EFFICIENT
+        )
+        assert efficient / max(1, len(eff.groups)) > 0.6
+
+    def test_imperva_less_efficient_than_edgio(self, alt_world):
+        """The six-region rigid-partition cost is structural, not a seed
+        artifact."""
+        from repro.analysis.mapping import MappingClass
+        from repro.experiments.table2 import mapping_efficiency
+
+        def suboptimal_rate(deployment, service):
+            eff = mapping_efficiency(alt_world, deployment, service,
+                                     DnsMode.LDNS)
+            if not eff.groups:
+                return 0.0
+            return sum(
+                1 for g in eff.groups
+                if g.outcome is MappingClass.REGION_SUBOPTIMAL
+            ) / len(eff.groups)
+
+        im = suboptimal_rate(alt_world.imperva.im6, alt_world.im6_service)
+        eg = suboptimal_rate(alt_world.edgio.eg3, alt_world.eg3_service)
+        assert im > eg
+
+    def test_regional_tail_not_catastrophically_worse(self, alt_world):
+        """Across seeds, regional anycast's tail stays comparable to or
+        better than global anycast's (the paper's net finding)."""
+        from repro.experiments import table3
+
+        result = table3.run(alt_world)
+        regressions = improvements = 0
+        for area, cells in result.cells.items():
+            for p, (regional, global_) in cells.items():
+                if p < 90:
+                    continue
+                if regional < global_ - 5:
+                    improvements += 1
+                elif regional > global_ + 5:
+                    regressions += 1
+        assert improvements + regressions == 0 or \
+            improvements >= regressions - 2
+
+    def test_reopt_direct_assignment_beats_global_in_the_mean(self, alt_world):
+        """The structural §6 claim that must survive any seed: with ideal
+        (per-probe) mapping, regional anycast's pooled mean latency beats
+        global anycast's.  (Per-area p90s can flip on unlucky worlds —
+        the §5 DNS-suboptimality caveat — so they are not asserted here;
+        the calibrated default world's per-area story is asserted in
+        test_experiments.py.)"""
+        from repro.experiments import fig6
+        from repro.geo.areas import AREAS
+
+        result = fig6.run(alt_world)
+
+        def pooled_mean(name: str) -> float:
+            values: list[float] = []
+            for area in AREAS:
+                cdf = result.series[name].get(area)
+                if cdf is not None:
+                    values.extend(cdf.values)
+            return sum(values) / len(values)
+
+        assert pooled_mean("direct") < pooled_mean("global")
+
+    def test_reopt_wins_somewhere_at_the_tail(self, alt_world):
+        from repro.experiments import fig6
+        from repro.geo.areas import AREAS
+
+        result = fig6.run(alt_world)
+        reductions = [
+            r for a in AREAS
+            for r in [result.reduction_at_p90(a)] if r is not None
+        ]
+        assert max(reductions) > 0.05

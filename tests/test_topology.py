@@ -1,0 +1,272 @@
+"""Unit tests for topology value types, the graph container, and the builder."""
+
+import pytest
+
+from repro.geo.areas import Area
+from repro.geo.atlas import load_default_atlas
+from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+from repro.topology.asys import (
+    AutonomousSystem,
+    Interconnect,
+    Link,
+    LinkKind,
+    PoP,
+    Tier,
+)
+from repro.topology.builder import AddressPlan, InternetBuilder, TopologyParams
+from repro.topology.graph import Topology, TopologyError
+from repro.topology.ixp import IXP
+from repro.topology.stats import summarize
+
+ATLAS = load_default_atlas()
+
+
+def make_as(node_id, iatas, tier=Tier.TRANSIT, home="US"):
+    return AutonomousSystem(
+        node_id=node_id,
+        asn=node_id,
+        name=f"as{node_id}",
+        tier=tier,
+        home_country=home,
+        pops=tuple(PoP(city=ATLAS.get(i)) for i in iatas),
+        infra_prefix=None,
+    )
+
+
+def make_link(a, b, kind=LinkKind.TRANSIT, iata="FRA", ixp_id=None, base=0):
+    ic = Interconnect(
+        city=ATLAS.get(iata),
+        addr_a=IPv4Address(10_000_000 + base),
+        addr_b=IPv4Address(10_000_001 + base),
+    )
+    return Link(a=a, b=b, kind=kind, interconnects=(ic,), ixp_id=ixp_id)
+
+
+class TestAsysTypes:
+    def test_as_requires_pops(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(1, 1, "x", Tier.STUB, "US", pops=())
+
+    def test_as_rejects_duplicate_pops(self):
+        with pytest.raises(ValueError):
+            make_as(1, ["FRA", "FRA"])
+
+    def test_nearest_pop(self):
+        node = make_as(1, ["FRA", "NRT", "JFK"])
+        assert node.nearest_pop(ATLAS.get("MUC")).iata == "FRA"
+        assert node.nearest_pop(ATLAS.get("ICN")).iata == "NRT"
+
+    def test_site_detection(self):
+        site = AutonomousSystem(
+            1_000_000, 64500, "site", Tier.CDN, "US",
+            pops=(PoP(city=ATLAS.get("IAD")),),
+        )
+        assert site.is_site
+        assert not make_as(5, ["FRA"]).is_site
+
+    def test_link_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            make_link(1, 1)
+
+    def test_link_requires_interconnect(self):
+        with pytest.raises(ValueError):
+            Link(a=1, b=2, kind=LinkKind.TRANSIT, interconnects=())
+
+    def test_ixp_link_requires_ixp_id(self):
+        with pytest.raises(ValueError):
+            make_link(1, 2, kind=LinkKind.PEER_PUBLIC)
+
+    def test_non_ixp_link_rejects_ixp_id(self):
+        with pytest.raises(ValueError):
+            make_link(1, 2, kind=LinkKind.TRANSIT, ixp_id=3)
+
+    def test_link_other_and_addr_of(self):
+        link = make_link(1, 2)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+        with pytest.raises(ValueError):
+            link.other(3)
+        ic = link.interconnects[0]
+        assert link.addr_of(1, ic) == ic.addr_a
+        assert link.addr_of(2, ic) == ic.addr_b
+        with pytest.raises(ValueError):
+            link.addr_of(3, ic)
+
+
+class TestTopologyContainer:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        with pytest.raises(TopologyError):
+            topo.add_node(make_as(1, ["AMS"]))
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        with pytest.raises(TopologyError):
+            topo.add_link(make_link(1, 2))
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        topo.add_node(make_as(2, ["AMS"]))
+        topo.add_link(make_link(1, 2))
+        with pytest.raises(TopologyError):
+            topo.add_link(make_link(2, 1, base=10))
+
+    def test_transit_adjacency_direction(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        topo.add_node(make_as(2, ["AMS"]))
+        topo.add_link(make_link(1, 2))  # 1 is the customer of 2
+        assert topo.providers_of(1) == [2]
+        assert topo.customers_of(2) == [1]
+        assert topo.peers_of(1) == []
+
+    def test_peer_adjacency_symmetric(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        topo.add_node(make_as(2, ["AMS"]))
+        topo.add_link(make_link(1, 2, kind=LinkKind.PEER_PRIVATE))
+        assert topo.peers_of(1) == [(2, LinkKind.PEER_PRIVATE)]
+        assert topo.peers_of(2) == [(1, LinkKind.PEER_PRIVATE)]
+
+    def test_interface_registry_and_ixp_invisibility(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        topo.add_node(make_as(2, ["FRA"]))
+        ixp = IXP(ixp_id=7, name="ix", city=ATLAS.get("FRA"),
+                  lan_prefix=IPv4Prefix.parse("172.16.0.0/24"))
+        topo.add_ixp(ixp)
+        link = make_link(1, 2, kind=LinkKind.PEER_PUBLIC, ixp_id=7)
+        topo.add_link(link)
+        ic = link.interconnects[0]
+        info = topo.interface_info(ic.addr_a)
+        assert info is not None and info.node_id == 1 and info.ixp_id == 7
+        # IXP-LAN addresses are invisible in BGP (owner_asn -> None).
+        assert topo.owner_asn(ic.addr_a) is None
+
+    def test_owner_asn_for_infrastructure(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"]))
+        topo.add_node(make_as(2, ["AMS"]))
+        link = make_link(1, 2)
+        topo.add_link(link)
+        ic = link.interconnects[0]
+        assert topo.owner_asn(ic.addr_a) == 1
+        assert topo.owner_asn(ic.addr_b) == 2
+        assert topo.owner_asn(IPv4Address(12345)) is None
+
+    def test_interface_address_reuse_rejected(self):
+        topo = Topology()
+        for nid, city in ((1, "FRA"), (2, "AMS"), (3, "LHR")):
+            topo.add_node(make_as(nid, [city]))
+        topo.add_link(make_link(1, 2, base=0))
+        with pytest.raises(TopologyError):
+            topo.add_link(make_link(1, 3, base=0))  # same interface addrs
+
+    def test_version_bumps_on_mutation(self):
+        topo = Topology()
+        v0 = topo.version
+        topo.add_node(make_as(1, ["FRA"]))
+        assert topo.version > v0
+
+    def test_validate_detects_partition(self):
+        topo = Topology()
+        topo.add_node(make_as(1, ["FRA"], tier=Tier.TIER1))
+        topo.add_node(make_as(2, ["AMS"], tier=Tier.STUB))
+        topo.add_node(make_as(3, ["LHR"], tier=Tier.TRANSIT))
+        topo.add_link(make_link(2, 3))  # 2 -> 3, but 3 has no provider
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_validate_detects_transit_cycle(self):
+        topo = Topology()
+        for nid, city in ((1, "FRA"), (2, "AMS"), (3, "LHR"), (9, "JFK")):
+            tier = Tier.TIER1 if nid == 9 else Tier.TRANSIT
+            topo.add_node(make_as(nid, [city], tier=tier))
+        topo.add_link(make_link(1, 2, base=0))
+        topo.add_link(make_link(2, 3, base=10))
+        topo.add_link(make_link(3, 1, base=20))
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+
+class TestInternetBuilder:
+    def test_same_seed_same_topology(self):
+        params = TopologyParams(seed=3, num_tier1=4, num_transit=30, num_stubs=60)
+        t1 = InternetBuilder(params).build()
+        t2 = InternetBuilder(params).build()
+        assert t1.num_nodes == t2.num_nodes
+        assert t1.num_links == t2.num_links
+        names1 = sorted(n.name for n in t1.nodes())
+        names2 = sorted(n.name for n in t2.nodes())
+        assert names1 == names2
+        kinds1 = sorted((l.a, l.b, l.kind.value) for l in t1.links())
+        kinds2 = sorted((l.a, l.b, l.kind.value) for l in t2.links())
+        assert kinds1 == kinds2
+
+    def test_different_seed_different_topology(self):
+        p1 = TopologyParams(seed=3, num_tier1=4, num_transit=30, num_stubs=60)
+        p2 = TopologyParams(seed=4, num_tier1=4, num_transit=30, num_stubs=60)
+        t1 = InternetBuilder(p1).build()
+        t2 = InternetBuilder(p2).build()
+        links1 = sorted((l.a, l.b) for l in t1.links())
+        links2 = sorted((l.a, l.b) for l in t2.links())
+        assert links1 != links2
+
+    def test_node_counts_match_params(self, tiny_topology):
+        summary = summarize(tiny_topology)
+        assert summary.nodes_by_tier[Tier.TIER1] == 4
+        assert summary.nodes_by_tier[Tier.TRANSIT] == 40
+        assert summary.nodes_by_tier[Tier.STUB] == 120
+
+    def test_stub_area_quota_roughly_matches_weights(self, tiny_topology):
+        summary = summarize(tiny_topology)
+        total = sum(summary.stubs_by_area.values())
+        assert total == 120
+        # EMEA carries the largest share by construction.
+        assert summary.stubs_by_area[Area.EMEA] == max(summary.stubs_by_area.values())
+
+    def test_tier1_clique(self, tiny_topology):
+        from repro.topology.asys import Tier as T
+
+        tier1 = [n.node_id for n in tiny_topology.nodes() if n.tier is T.TIER1]
+        for i, a in enumerate(tier1):
+            for b in tier1[i + 1 :]:
+                assert tiny_topology.has_link(a, b)
+
+    def test_validates_after_build(self, tiny_topology):
+        tiny_topology.validate()  # must not raise
+
+    def test_every_stub_has_a_provider(self, tiny_topology):
+        for node in tiny_topology.nodes():
+            if node.tier is Tier.STUB:
+                assert tiny_topology.providers_of(node.node_id)
+
+    def test_ixps_created_with_members(self, tiny_topology):
+        ixps = list(tiny_topology.ixps())
+        assert ixps
+        assert any(ixp.members for ixp in ixps)
+
+    def test_route_server_members_subset_of_members(self, tiny_topology):
+        for ixp in tiny_topology.ixps():
+            assert ixp.route_server_members <= ixp.members
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyParams(num_tier1=2)
+        with pytest.raises(ValueError):
+            TopologyParams(transit_pops_min=3, transit_pops_max=2)
+
+    def test_address_plan_attached(self, tiny_topology):
+        plan = tiny_topology.address_plan
+        assert isinstance(plan, AddressPlan)
+
+    def test_infra_interfaces_within_as_prefix(self, tiny_topology):
+        for link in tiny_topology.links():
+            if link.kind is not LinkKind.TRANSIT:
+                continue
+            node_a = tiny_topology.node(link.a)
+            for ic in link.interconnects:
+                assert ic.addr_a in node_a.infra_prefix

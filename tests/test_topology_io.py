@@ -1,0 +1,162 @@
+"""Tests for topology serialisation and the methodology experiment."""
+
+import json
+
+import pytest
+
+from repro.netaddr.ipv4 import IPv4Prefix
+from repro.routing.engine import RoutingEngine
+from repro.routing.route import Announcement, OriginSpec
+from repro.topology.asys import Tier
+from repro.topology.io import (
+    dump_topology,
+    load_topology,
+    read_topology,
+    save_topology,
+    to_networkx,
+)
+
+PREFIX = IPv4Prefix.parse("198.18.4.0/24")
+
+
+class TestTopologyIO:
+    def test_roundtrip_preserves_structure(self, tiny_topology):
+        doc = dump_topology(tiny_topology)
+        loaded = load_topology(doc)
+        assert loaded.num_nodes == tiny_topology.num_nodes
+        assert loaded.num_links == tiny_topology.num_links
+        for node in tiny_topology.nodes():
+            twin = loaded.node(node.node_id)
+            assert twin.asn == node.asn
+            assert twin.tier is node.tier
+            assert twin.home_country == node.home_country
+            assert [p.iata for p in twin.pops] == [p.iata for p in node.pops]
+
+    def test_roundtrip_preserves_adjacency(self, tiny_topology):
+        loaded = load_topology(dump_topology(tiny_topology))
+        for node in tiny_topology.nodes():
+            assert sorted(loaded.providers_of(node.node_id)) == \
+                sorted(tiny_topology.providers_of(node.node_id))
+            assert sorted(loaded.customers_of(node.node_id)) == \
+                sorted(tiny_topology.customers_of(node.node_id))
+
+    def test_roundtrip_preserves_interface_registry(self, tiny_topology):
+        loaded = load_topology(dump_topology(tiny_topology))
+        for link in list(tiny_topology.links())[:30]:
+            for ic in link.interconnects:
+                info = loaded.interface_info(ic.addr_a)
+                assert info is not None
+                assert info.node_id == link.a
+                assert info.city.iata == ic.city.iata
+
+    def test_roundtrip_preserves_routing(self, tiny_topology):
+        """The loaded topology must route identically — same catchments
+        for an anycast prefix announced from two stubs."""
+        stubs = sorted(
+            n.node_id for n in tiny_topology.nodes() if n.tier is Tier.STUB
+        )
+        ann = Announcement(
+            prefix=PREFIX,
+            origins=(OriginSpec(site_node=stubs[0]),
+                     OriginSpec(site_node=stubs[-1])),
+        )
+        original = RoutingEngine(tiny_topology).compute(ann)
+        loaded = load_topology(dump_topology(tiny_topology))
+        reloaded = RoutingEngine(loaded).compute(ann)
+        assert set(original.best) == set(reloaded.best)
+        for node, choice in original.best.items():
+            twin = reloaded.best[node]
+            assert twin.primary.path == choice.primary.path
+            assert twin.tier is choice.tier
+
+    def test_document_is_json_serialisable(self, tiny_topology):
+        text = json.dumps(dump_topology(tiny_topology))
+        assert "repro-topology" in text
+
+    def test_file_roundtrip(self, tiny_topology, tmp_path):
+        path = str(tmp_path / "topo.json")
+        save_topology(tiny_topology, path)
+        loaded = read_topology(path)
+        assert loaded.num_links == tiny_topology.num_links
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            load_topology({"format": "something-else"})
+        with pytest.raises(ValueError):
+            load_topology({"format": "repro-topology", "version": 99})
+
+    def test_to_networkx(self, tiny_topology):
+        graph = to_networkx(tiny_topology)
+        assert graph.number_of_nodes() == tiny_topology.num_nodes
+        assert graph.number_of_edges() == tiny_topology.num_links
+        some_node = next(iter(graph.nodes(data=True)))[1]
+        assert "tier" in some_node and "pops" in some_node
+
+
+class TestMethodologyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, small_world):
+        from repro.experiments import methodology
+
+        return methodology.run(small_world)
+
+    def test_three_estimators(self, result):
+        assert set(result.rtt) == {
+            "per-probe (usable)", "group-median (paper)",
+            "per-probe (unfiltered)",
+        }
+
+    def test_grouping_shrinks_sample(self, result):
+        assert len(result.rtt["group-median (paper)"]) < \
+            len(result.rtt["per-probe (usable)"])
+
+    def test_unreliable_geocodes_are_far_off(self, result):
+        assert result.geocode_distance_error_km is not None
+        assert result.geocode_distance_error_km.percentile(50) > 300
+
+    def test_grouping_dilutes_concentration(self, result):
+        assert result.top10_group_share_per_group < \
+            result.top10_group_share_per_probe
+
+    def test_render(self, result):
+        assert "Estimator" in result.render()
+
+
+class TestPrimaryOnlyForwarding:
+    def test_primary_only_flag_changes_nothing_for_single_routes(self, small_world):
+        from repro.routing.forwarding import trace_forwarding_path
+
+        addr = small_world.tangled.global_deployment.address
+        table = small_world.engine.table_for(addr)
+        probe = small_world.usable_probes[0]
+        # Both modes must terminate at a valid origin.
+        hp = trace_forwarding_path(small_world.topology, table,
+                                   probe.as_node, probe.location)
+        po = trace_forwarding_path(small_world.topology, table,
+                                   probe.as_node, probe.location,
+                                   primary_only=True)
+        assert hp is not None and po is not None
+        assert hp.origin in {s.node_id for s in
+                             small_world.tangled.network.sites.values()}
+        assert po.origin in {s.node_id for s in
+                             small_world.tangled.network.sites.values()}
+
+    def test_primary_only_mean_not_better(self, small_world):
+        from repro.routing.forwarding import trace_forwarding_path
+
+        addr = small_world.imperva.ns.address
+        table = small_world.engine.table_for(addr)
+
+        def mean(primary_only):
+            total = count = 0
+            for p in small_world.usable_probes[:200]:
+                fp = trace_forwarding_path(
+                    small_world.topology, table, p.as_node, p.location,
+                    p.last_mile_ms, primary_only=primary_only,
+                )
+                if fp:
+                    total += fp.rtt_ms
+                    count += 1
+            return total / count
+
+        assert mean(True) >= mean(False) * 0.99

@@ -1,0 +1,104 @@
+"""Tests for the World helpers, the runner, and topology stats."""
+
+import io
+
+import pytest
+
+from repro.dnssim.resolver import DnsMode
+from repro.experiments import runner
+from repro.topology.stats import summarize
+
+
+class TestWorldHelpers:
+    def test_group_received_addr_is_majority(self, small_world):
+        answers = small_world.resolve_all(small_world.im6_service, DnsMode.LDNS)
+        received = small_world.group_received_addr(
+            small_world.im6_service, DnsMode.LDNS
+        )
+        groups_by_key = {g.key: g for g in small_world.groups}
+        for key, addr in list(received.items())[:50]:
+            group = groups_by_key[key]
+            votes = [answers[p.probe_id] for p in group.probes]
+            assert votes.count(addr) >= max(
+                votes.count(v) for v in set(votes)
+            ) - 0  # the winner is a maximal-count answer
+
+    def test_group_median_rtt_covers_most_groups(self, small_world):
+        addr = small_world.imperva.ns.address
+        medians = small_world.group_median_rtt(addr)
+        assert len(medians) >= 0.95 * len(small_world.groups)
+
+    def test_sitemap_cache_keyed_by_published_list(self, small_world):
+        addr = small_world.imperva.ns.address
+        pub = small_world.imperva.ns.published_cities
+        a = small_world.map_sites_for_address(addr, pub)
+        b = small_world.map_sites_for_address(addr, pub)
+        assert a is b
+        # A different published list is a different pipeline run.
+        c = small_world.map_sites_for_address(addr, pub[:10])
+        assert c is not a
+
+    def test_observations_cover_all_usable_probes(self, small_world):
+        obs = small_world.observations_global(small_world.imperva.ns)
+        assert set(obs) == {p.probe_id for p in small_world.usable_probes}
+        valid = sum(1 for o in obs.values() if o.valid)
+        assert valid > 0.8 * len(obs)
+
+    def test_probe_by_id_index(self, small_world):
+        for probe in small_world.usable_probes[:20]:
+            assert small_world.probe_by_id[probe.probe_id] is probe
+
+    def test_services_use_distinct_cdn_databases(self, small_world):
+        assert small_world.eg3_service.geodb is small_world.edgio_db
+        assert small_world.im6_service.geodb is small_world.imperva_db
+        assert small_world.edgio_db.name != small_world.imperva_db.name
+
+
+class TestRunner:
+    def test_run_all_renders_each_experiment(self, small_world, monkeypatch):
+        from repro.experiments import fig1, table1
+
+        monkeypatch.setattr(
+            runner, "ALL_EXPERIMENTS",
+            ((fig1, "Fig. 1 micro-case"), (table1, "Table 1 sites")),
+        )
+        stream = io.StringIO()
+        results = runner.run_all(small_world, stream=stream)
+        out = stream.getvalue()
+        assert len(results) == 2
+        assert "fig1" in out and "Table 1" in out
+        assert "[Fig. 1 micro-case:" in out
+
+    def test_experiment_list_is_complete(self):
+        names = {m.__name__.rsplit(".", 1)[-1] for m, _ in runner.ALL_EXPERIMENTS}
+        # Every experiment module in the package must be wired in.
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "sec54", "sec52_tails", "igreedy_compare", "baselines",
+            "resilience", "longitudinal", "load_balance", "methodology",
+            "probe_sweep",
+        }
+        assert names == expected
+
+    def test_descriptions_unique(self):
+        descriptions = [d for _, d in runner.ALL_EXPERIMENTS]
+        assert len(set(descriptions)) == len(descriptions)
+
+
+class TestTopologyStats:
+    def test_summary_text_mentions_all_sections(self, tiny_topology):
+        text = summarize(tiny_topology).as_text()
+        assert "nodes:" in text
+        assert "links:" in text
+        assert "stubs by area:" in text
+        assert "IXPs:" in text
+
+    def test_interconnect_count_at_least_links(self, tiny_topology):
+        summary = summarize(tiny_topology)
+        assert summary.num_interconnects >= tiny_topology.num_links
+
+    def test_degrees_positive(self, tiny_topology):
+        summary = summarize(tiny_topology)
+        assert summary.mean_stub_degree >= 1.0
+        assert summary.max_degree >= 3
