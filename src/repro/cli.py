@@ -6,7 +6,9 @@ Commands:
 - ``list``   — list the available experiments;
 - ``run``    — run experiments (all by default), optionally exporting
   structured results to JSON;
-- ``demo``   — run a micro-case (fig1 / fig7) standalone.
+- ``demo``   — run a micro-case (fig1 / fig7) standalone;
+- ``lint``   — Layer-1 determinism linter (``--list-rules`` for ids);
+- ``verify --deep`` adds the Layer-2 routing-invariant analyzer.
 """
 
 from __future__ import annotations
@@ -92,7 +94,39 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     world = get_world(_config_from_args(args))
     outcomes = verify_claims(world)
     print(render_scorecard(outcomes))
-    return 0 if all(o.passed for o in outcomes) else 1
+    status = 0 if all(o.passed for o in outcomes) else 1
+    if getattr(args, "deep", False):
+        from repro.lint.invariants import analyze_world, render_invariant_report
+
+        findings = analyze_world(world)
+        print()
+        print(render_invariant_report(findings))
+        if findings:
+            status = 1
+    return status
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Layer-1 determinism linter over source trees (default: repro)."""
+    from pathlib import Path
+
+    from repro.lint.findings import RULES
+    from repro.lint.runner import default_target, lint_paths, render_report
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULES)
+        for rule_id, spec in sorted(RULES.items()):
+            print(f"{rule_id:{width}}  {spec.summary}")
+        return 0
+    targets = args.paths or [str(default_target())]
+    missing = [t for t in targets if not Path(t).exists()]
+    if missing:
+        print(f"no such file or directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    print(render_report(findings))
+    return 1 if findings else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -219,7 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="check every paper claim against a fresh world")
     p_verify.add_argument("--small", action="store_true",
                           help="use the reduced test-scale world")
+    p_verify.add_argument("--deep", action="store_true",
+                          help="also run the routing-invariant analyzer "
+                               "(valley-freeness, export rules, catchments)")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_lint = sub.add_parser(
+        "lint", help="static analysis: determinism linter over source trees")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list every rule id and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_demo = sub.add_parser("demo", help="run a micro-case standalone")
     p_demo.add_argument("case", choices=["fig1", "fig7"])

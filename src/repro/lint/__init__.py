@@ -1,0 +1,50 @@
+"""Domain-aware static analysis for the reproduction.
+
+Two layers:
+
+- **Layer 1** (:mod:`repro.lint.ast_checks` via :mod:`repro.lint.runner`)
+  lints source code for determinism hazards — global RNG draws, float
+  equality, set-ordering leaks, mutable defaults, bare excepts, and
+  ``__all__`` drift — with a per-line ``# repro-lint: disable=RULE``
+  escape hatch.
+- **Layer 2** (:mod:`repro.lint.invariants`) verifies computed routing
+  state: valley-free paths, Gao-Rexford export conformance, equal-best
+  well-formedness, registry LPM consistency, and catchment completeness.
+
+``repro lint`` runs Layer 1 from the command line; ``repro verify
+--deep`` adds Layer 2 over the freshly built world.  See
+``docs/static-analysis.md`` for every rule and check id.
+"""
+
+from repro.lint.findings import RULES, Finding, RuleSpec, render_report
+from repro.lint.invariants import (
+    InvariantFinding,
+    analyze_world,
+    check_catchments,
+    check_registry,
+    check_table,
+    render_invariant_report,
+)
+from repro.lint.runner import (
+    default_target,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "InvariantFinding",
+    "RULES",
+    "RuleSpec",
+    "analyze_world",
+    "check_catchments",
+    "check_registry",
+    "check_table",
+    "default_target",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_invariant_report",
+    "render_report",
+]

@@ -1,0 +1,414 @@
+"""Layer 1: AST-level determinism and hygiene checks.
+
+The checker walks one module's AST and reports :class:`~repro.lint.findings.Finding`
+objects for the rules in :data:`repro.lint.findings.RULES`.  The rules are
+tuned to a deterministic-simulation codebase: anything that can make two
+runs of the same experiment disagree (global RNG draws, set-ordering
+leaks, float equality) is treated as a defect even where general-purpose
+linters stay quiet.
+
+The checker is purely syntactic — it resolves ``import`` aliases within
+the module but does no cross-module inference, so it can run on any
+source string without importing it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import RULES, Finding
+
+#: ``random`` module functions that draw from the global generator.
+_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` module-level functions backed by the legacy global
+#: ``RandomState`` (seed-order dependent even after ``numpy.random.seed``).
+_NUMPY_RANDOM_FUNCS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "exponential",
+        "gamma", "geometric", "gumbel", "laplace", "logistic", "lognormal",
+        "normal", "permutation", "poisson", "rand", "randint", "randn",
+        "random", "random_integers", "random_sample", "ranf", "sample",
+        "shuffle", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_normal", "standard_t", "uniform",
+        "vonmises", "wald", "weibull", "zipf",
+    }
+)
+
+#: Constructors that are fine seeded but nondeterministic with no
+#: arguments (they fall back to OS entropy).
+_SEEDABLE_CONSTRUCTORS = frozenset({"Random", "default_rng", "SystemRandom"})
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+#: Builtins whose single-argument call materialises iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: {a} | {b}, set(x) - set(y), ...
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Conservative "this expression is a float" test.
+
+    Only shapes that are certainly floats are matched: float literals,
+    ``float(...)`` casts, true division, and arithmetic over either.
+    Plain names are never matched — the checker has no type inference,
+    and flagging every ``a == b`` would drown the signal.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    return False
+
+
+class Checker(ast.NodeVisitor):
+    """Single-module rule engine; collects findings in :attr:`findings`."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+        #: Names bound to the ``random`` module (``import random [as r]``).
+        self._random_mods: set[str] = set()
+        #: Names bound to ``numpy`` itself.
+        self._numpy_mods: set[str] = set()
+        #: Names bound to the ``numpy.random`` submodule.
+        self._numpy_random_mods: set[str] = set()
+        #: Bare names that are global-RNG functions (``from random import
+        #: choice``), mapped to the module they came from.
+        self._direct_rng_funcs: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                rule=rule,
+                message=message,
+                hint=RULES[rule].hint,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Import tracking
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_mods.add(bound)
+            elif alias.name == "numpy":
+                self._numpy_mods.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self._numpy_random_mods.add(alias.asname)
+                else:
+                    self._numpy_mods.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_FUNCS:
+                    self._direct_rng_funcs[alias.asname or alias.name] = "random"
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_mods.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _NUMPY_RANDOM_FUNCS:
+                    self._direct_rng_funcs[alias.asname or alias.name] = (
+                        "numpy.random"
+                    )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # unseeded-random
+    # ------------------------------------------------------------------
+    def _global_rng_call(self, func: ast.expr) -> str | None:
+        """The dotted name of a global-RNG call target, or None."""
+        if isinstance(func, ast.Name):
+            origin = self._direct_rng_funcs.get(func.id)
+            if origin is not None:
+                return f"{origin}.{func.id}"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in self._random_mods and func.attr in _RANDOM_FUNCS:
+                return f"random.{func.attr}"
+            if (
+                value.id in self._numpy_random_mods
+                and func.attr in _NUMPY_RANDOM_FUNCS
+            ):
+                return f"numpy.random.{func.attr}"
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_mods
+            and func.attr in _NUMPY_RANDOM_FUNCS
+        ):
+            return f"numpy.random.{func.attr}"
+        return None
+
+    def _unseeded_constructor(self, node: ast.Call) -> str | None:
+        """``random.Random()`` / ``default_rng()`` with no seed argument."""
+        if node.args or node.keywords:
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SEEDABLE_CONSTRUCTORS
+            and isinstance(func.value, ast.Name)
+            and (
+                func.value.id in self._random_mods
+                or func.value.id in self._numpy_random_mods
+            )
+        ):
+            return func.attr
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self._global_rng_call(node.func)
+        if target is not None:
+            self._report(
+                "unseeded-random", node,
+                f"{target}() draws from the process-global RNG",
+            )
+        else:
+            ctor = self._unseeded_constructor(node)
+            if ctor is not None:
+                self._report(
+                    "unseeded-random", node,
+                    f"{ctor}() without a seed is entropy-seeded",
+                )
+        self._check_order_sensitive_call(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # float-equality
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(left) or _is_floatish(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self._report(
+                    "float-equality", node,
+                    f"exact float {symbol} comparison",
+                )
+                break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # mutable-default
+    # ------------------------------------------------------------------
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                self._report(
+                    "mutable-default", default,
+                    "mutable default argument is shared across calls",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # set-iteration
+    # ------------------------------------------------------------------
+    def _report_set_iteration(self, node: ast.expr) -> None:
+        self._report(
+            "set-iteration", node,
+            "iteration order of a set is not deterministic across runs",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._report_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp,
+    ) -> None:
+        for gen in node.generators:
+            if _is_set_expr(gen.iter):
+                self._report_set_iteration(gen.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    def _check_order_sensitive_call(self, node: ast.Call) -> None:
+        """``list({...})`` / ``",".join(set(...))`` materialise set order."""
+        if not node.args or not _is_set_expr(node.args[0]):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
+            self._report_set_iteration(node.args[0])
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            self._report_set_iteration(node.args[0])
+
+    # ------------------------------------------------------------------
+    # bare-except
+    # ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report("bare-except", node, "bare except clause")
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # all-drift (module-level post pass)
+    # ------------------------------------------------------------------
+    def check_module(self, tree: ast.Module) -> None:
+        """Run the whole-module passes, then the node visitors."""
+        self._check_all_drift(tree)
+        self.visit(tree)
+
+    def _check_all_drift(self, tree: ast.Module) -> None:
+        exported = self._find_all_assignment(tree)
+        if exported is None:
+            return
+        defined = _module_level_names(tree)
+        for elt in exported:
+            if not isinstance(elt, ast.Constant) or not isinstance(
+                elt.value, str
+            ):
+                continue
+            if elt.value not in defined:
+                self._report(
+                    "all-drift", elt,
+                    f"__all__ names {elt.value!r} which the module "
+                    "does not define",
+                )
+
+    @staticmethod
+    def _find_all_assignment(tree: ast.Module) -> list[ast.expr] | None:
+        for stmt in tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    value = stmt.value
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        return list(value.elts)
+        return None
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Names a module defines at top level (following into try/if blocks)."""
+    names: set[str] = set()
+
+    def collect(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _collect_target(stmt.target)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.If):
+                collect(stmt.body)
+                collect(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                collect(stmt.body)
+                collect(stmt.orelse)
+                collect(stmt.finalbody)
+                for handler in stmt.handlers:
+                    collect(handler.body)
+
+    def _collect_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                _collect_target(elt)
+        elif isinstance(target, ast.Starred):
+            _collect_target(target.value)
+
+    collect(tree.body)
+    return names
+
+
+def check_tree(tree: ast.Module, path: str) -> list[Finding]:
+    """All Layer-1 findings for one parsed module."""
+    checker = Checker(path)
+    checker.check_module(tree)
+    return checker.findings
