@@ -8,7 +8,9 @@ Commands:
   structured results to JSON;
 - ``demo``   — run a micro-case (fig1 / fig7) standalone;
 - ``lint``   — Layer-1 determinism linter (``--list-rules`` for ids);
-- ``verify --deep`` adds the Layer-2 routing-invariant analyzer.
+- ``verify --deep`` adds the Layer-2 routing-invariant analyzer;
+- ``obs``    — observability: ``summary`` / ``compare`` over the run
+  manifests that ``run --trace DIR`` / ``world --trace DIR`` write.
 """
 
 from __future__ import annotations
@@ -17,7 +19,9 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.experiments import config
+from repro.experiments.base import run_instrumented
 from repro.experiments.runner import ALL_EXPERIMENTS
 from repro.experiments.world import World, get_world
 
@@ -27,12 +31,15 @@ def _config_from_args(args: argparse.Namespace):
 
 
 def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import tracing
     from repro.topology.stats import summarize
 
     cfg = _config_from_args(args)
-    start = time.perf_counter()
-    world = World(cfg)
-    elapsed = time.perf_counter() - start
+    with tracing(args.trace, label="repro-world", config=cfg,
+                 argv=sys.argv[1:]) as recorder:
+        start = time.perf_counter()
+        world = World(cfg)
+        elapsed = time.perf_counter() - start
     print(f"world '{cfg.name}' built in {elapsed:.2f}s")
     print(summarize(world.topology).as_text())
     print(
@@ -43,6 +50,8 @@ def _cmd_world(args: argparse.Namespace) -> int:
         "deployments: Edgio (3- and 4-region), Imperva-6, Imperva-NS, "
         "Tangled (12 sites)"
     )
+    if recorder is not None and recorder.manifest_path is not None:
+        print(f"[obs] manifest written to {recorder.manifest_path}")
     return 0
 
 
@@ -69,22 +78,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             print(f"available: {', '.join(sorted(known))}", file=sys.stderr)
             return 2
-    world = get_world(cfg)
-    results = []
-    for module, description in selected:
-        start = time.perf_counter()
-        result = module.run(world)
-        elapsed = time.perf_counter() - start
-        results.append(result)
-        print(result.render())
-        if args.plots and hasattr(result, "render_plot"):
-            print(result.render_plot())
-        print(f"[{description}: {elapsed:.2f}s]\n")
+    from repro.obs.manifest import tracing
+
+    with tracing(args.trace, label="repro-run", config=cfg,
+                 argv=sys.argv[1:]) as recorder:
+        world = get_world(cfg)
+        results = []
+        with obs.span("experiments.run_all", experiments=len(selected)):
+            for module, description in selected:
+                start = time.perf_counter()
+                result, _record = run_instrumented(module, description, world)
+                elapsed = time.perf_counter() - start
+                results.append(result)
+                print(result.render())
+                if args.plots and hasattr(result, "render_plot"):
+                    print(result.render_plot())
+                print(f"[{description}: {elapsed:.2f}s]\n")
     if args.json:
         from repro.experiments.export import export_results
 
         export_results(results, args.json)
         print(f"structured results written to {args.json}")
+    if recorder is not None and recorder.manifest_path is not None:
+        print(f"[obs] manifest written to {recorder.manifest_path}")
     return 0
 
 
@@ -199,6 +215,42 @@ def _cmd_lg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    """Top spans by self time + counter/gauge tables for one manifest."""
+    from repro.obs.manifest import load_manifest
+    from repro.obs.report import render_summary
+
+    try:
+        manifest = load_manifest(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.run}: {exc}", file=sys.stderr)
+        return 2
+    print(render_summary(manifest, top=args.top))
+    return 0
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    """Per-span wall-time deltas between two manifests; gate on --fail-over."""
+    from repro.obs.manifest import load_manifest
+    from repro.obs.report import compare_manifests, render_compare
+
+    try:
+        base = load_manifest(args.base)
+        other = load_manifest(args.other)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifests: {exc}", file=sys.stderr)
+        return 2
+    deltas = compare_manifests(base, other)
+    text, regressions = render_compare(
+        base, other, deltas,
+        fail_over_pct=args.fail_over,
+        min_wall_ms=args.min_wall,
+        top=args.top,
+    )
+    print(text)
+    return 1 if regressions else 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments import fig1, fig7
 
@@ -217,6 +269,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_world = sub.add_parser("world", help="build and summarise a world")
     p_world.add_argument("--small", action="store_true",
                          help="use the reduced test-scale world")
+    p_world.add_argument("--trace", metavar="DIR",
+                         help="record an obs trace of the build into DIR")
     p_world.set_defaults(func=_cmd_world)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -231,6 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export structured results to FILE")
     p_run.add_argument("--plots", action="store_true",
                        help="also render ASCII CDF plots where available")
+    p_run.add_argument("--trace", metavar="DIR",
+                       help="record an obs trace; writes run-<id>.json and "
+                            "events-<id>.jsonl into DIR")
     p_run.set_defaults(func=_cmd_run)
 
     p_report = sub.add_parser(
@@ -266,6 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list every rule id and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: summarise or compare run manifests")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_summary = obs_sub.add_parser(
+        "summary", help="where one traced run spent its time")
+    p_obs_summary.add_argument("run", help="a run-<id>.json manifest")
+    p_obs_summary.add_argument("--top", type=int, default=15, metavar="N",
+                               help="span paths to show (default 15)")
+    p_obs_summary.set_defaults(func=_cmd_obs_summary)
+    p_obs_compare = obs_sub.add_parser(
+        "compare", help="per-span wall-time deltas between two runs")
+    p_obs_compare.add_argument("base", help="baseline run-<id>.json")
+    p_obs_compare.add_argument("other", help="candidate run-<id>.json")
+    p_obs_compare.add_argument("--fail-over", type=float, default=None,
+                               metavar="PCT",
+                               help="exit non-zero when any span path is "
+                                    "slower than +PCT%%")
+    p_obs_compare.add_argument("--min-wall", type=float, default=25.0,
+                               metavar="MS",
+                               help="ignore span paths under MS wall ms on "
+                                    "both sides (default 25)")
+    p_obs_compare.add_argument("--top", type=int, default=20, metavar="N",
+                               help="span paths to show (default 20)")
+    p_obs_compare.set_defaults(func=_cmd_obs_compare)
 
     p_demo = sub.add_parser("demo", help="run a micro-case standalone")
     p_demo.add_argument("case", choices=["fig1", "fig7"])

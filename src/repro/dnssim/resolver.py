@@ -22,6 +22,7 @@ import enum
 import hashlib
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dnssim.service import GeoMappingService
 from repro.measurement.probes import Probe, ProbePopulation
 from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
@@ -94,6 +95,7 @@ class ResolverPool:
         profile = self._profiles.get(probe.probe_id)
         if profile is not None:
             return profile
+        obs.counter.inc("dns.resolver_assignments")
         if self._hash01("public", probe.probe_id) < self.params.public_resolver_fraction:
             idx = int(self._hash01("cluster", probe.probe_id) * len(self._public_addrs))
             addr = self._public_addrs[min(idx, len(self._public_addrs) - 1)]
@@ -119,4 +121,10 @@ class ResolverPool:
         self, service: GeoMappingService, probe: Probe, mode: DnsMode
     ) -> IPv4Address:
         """Resolve a geo-mapped hostname from a probe's vantage point."""
-        return service.answer_for_source(self.query_source(probe, mode))
+        obs.counter.inc("dns.queries")
+        source = self.query_source(probe, mode)
+        if mode is DnsMode.ADNS:
+            obs.counter.inc("dns.adns_queries")
+        elif isinstance(source, IPv4Prefix):
+            obs.counter.inc("dns.ecs_queries")
+        return service.answer_for_source(source)

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
+
+from repro import obs
 
 
 class ExperimentResult(Protocol):
@@ -31,3 +33,22 @@ class TextResult:
     def render(self) -> str:
         header = f"== {self.experiment_id}: {self.title} =="
         return "\n\n".join([header, *self.sections])
+
+
+def experiment_name(module: object) -> str:
+    """The short name an experiment module is addressed by (``fig1``...)."""
+    return getattr(module, "__name__", str(module)).rsplit(".", 1)[-1]
+
+
+def run_instrumented(
+    module: Any, description: str, world: Any
+) -> tuple[Any, obs.SpanRecord | None]:
+    """Run one experiment module under an ``experiment.<name>`` span.
+
+    Returns ``(result, span_record)``; the record carries the measured
+    wall/CPU time and is None when no recorder is installed.
+    """
+    name = experiment_name(module)
+    with obs.span(f"experiment.{name}", description=description) as active:
+        result = module.run(world)
+    return result, active.record

@@ -2,17 +2,21 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--small]
+    python -m repro.experiments.runner [--small] [--trace DIR]
 
 Prints every table and figure to stdout; ``--small`` runs on the reduced
-world used by tests.
+world used by tests, ``--trace DIR`` records an observability trace and
+writes ``run-<id>.json`` (plus a JSONL event stream) into DIR.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import TextIO
 
+from repro import obs
 from repro.experiments import (
     baselines,
     config,
@@ -39,7 +43,9 @@ from repro.experiments import (
     table5,
     table6,
 )
+from repro.experiments.base import run_instrumented
 from repro.experiments.world import World, get_world
+from repro.obs.manifest import tracing
 
 #: (module, description) in paper order.
 ALL_EXPERIMENTS = (
@@ -69,29 +75,65 @@ ALL_EXPERIMENTS = (
 )
 
 
-def run_all(world: World, stream=None) -> list[object]:
-    """Run every experiment against one world; returns the result list."""
+def run_all(
+    world: World, stream: TextIO | None = None
+) -> tuple[list[object], obs.Recorder]:
+    """Run every experiment against one world.
+
+    Returns ``(results, recording)``: the result list in paper order and
+    the recorder whose span tree timed every experiment.  When a recorder
+    is already installed (``repro run --trace``) it is reused; otherwise
+    a private one is created for the duration, so callers can always
+    assert on ``recording.root``.
+    """
     out = stream or sys.stdout
-    results = []
-    for module, description in ALL_EXPERIMENTS:
-        start = time.perf_counter()
-        result = module.run(world)
-        elapsed = time.perf_counter() - start
-        results.append(result)
-        print(result.render(), file=out)
-        print(f"[{description}: {elapsed:.2f}s]\n", file=out)
-    return results
+    recorder = obs.active()
+    owned = recorder is None
+    if owned:
+        recorder = obs.Recorder("experiments")
+        obs.install(recorder)
+    results: list[object] = []
+    try:
+        with obs.span("experiments.run_all", experiments=len(ALL_EXPERIMENTS)):
+            for module, description in ALL_EXPERIMENTS:
+                result, record = run_instrumented(module, description, world)
+                results.append(result)
+                print(result.render(), file=out)
+                elapsed_s = record.wall_ms / 1000.0 if record is not None else 0.0
+                print(f"[{description}: {elapsed_s:.2f}s]\n", file=out)
+    finally:
+        if owned:
+            obs.uninstall()
+    assert recorder is not None
+    return results, recorder
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run every experiment and print the paper-style report.",
+    )
+    parser.add_argument("--small", action="store_true",
+                        help="run on the reduced test-scale world")
+    parser.add_argument("--trace", metavar="DIR",
+                        help="record an obs trace; writes run-<id>.json "
+                             "and events-<id>.jsonl into DIR")
+    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    cfg = config.SMALL if "--small" in args else config.DEFAULT
-    start = time.perf_counter()
-    world = get_world(cfg)
-    print(f"[world '{cfg.name}' built in {time.perf_counter() - start:.2f}s: "
-          f"{world.topology.num_nodes} nodes, {world.topology.num_links} links, "
-          f"{len(world.usable_probes)} usable probes, {len(world.groups)} groups]\n")
-    run_all(world)
+    args = build_parser().parse_args(argv)
+    cfg = config.SMALL if args.small else config.DEFAULT
+    cli_argv = list(sys.argv[1:] if argv is None else argv)
+    with tracing(args.trace, label="runner", config=cfg, argv=cli_argv) as recorder:
+        start = time.perf_counter()
+        world = get_world(cfg)
+        print(f"[world '{cfg.name}' built in {time.perf_counter() - start:.2f}s: "
+              f"{world.topology.num_nodes} nodes, {world.topology.num_links} links, "
+              f"{len(world.usable_probes)} usable probes, {len(world.groups)} groups]\n")
+        run_all(world)
+    if recorder is not None and recorder.manifest_path is not None:
+        print(f"[obs] manifest written to {recorder.manifest_path}")
     return 0
 
 

@@ -18,6 +18,7 @@ of re-measuring.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.compare import ProbeObservation
 from repro.analysis.cases import phop_owner
 from repro.cdn.deployment import GlobalDeployment, RegionalDeployment
@@ -56,46 +57,70 @@ class World:
     def __init__(self, config: ExperimentConfig | None = None):
         self.config = config or DEFAULT
         cfg = self.config
-        self.topology: Topology = InternetBuilder(cfg.topology).build()
-        self.edgio: EdgioModel = build_edgio(self.topology, seed=cfg.deployment_seed)
-        self.imperva: ImpervaModel = build_imperva(
-            self.topology, seed=cfg.deployment_seed + 1
-        )
-        self.tangled: TangledTestbed = build_tangled(
-            self.topology, seed=cfg.deployment_seed + 2
-        )
-        self.probes = ProbePopulation(self.topology, cfg.probes)
-        self.registry = ServiceRegistry()
-        self.edgio.eg3.register(self.registry)
-        self.edgio.eg4.register(self.registry)
-        self.imperva.im6.register(self.registry)
-        self.imperva.ns.register(self.registry)
-        self.tangled.register(self.registry)
-        self.engine = MeasurementEngine(
-            self.topology, self.registry, seed=cfg.measurement_seed
-        )
-        self.oracle = GeoOracle(self.topology, self.probes)
-        self.databases = default_databases(self.oracle, seed=cfg.geodb_seed)
-        #: CDNs' internal client-mapping databases (distinct error draws).
-        self.edgio_db = GeoDatabase(
-            "edgio-mapping", self.oracle, GeoDbParams(), seed=cfg.geodb_seed + 10
-        )
-        self.imperva_db = GeoDatabase(
-            "imperva-mapping", self.oracle, GeoDbParams(), seed=cfg.geodb_seed + 11
-        )
-        self.route53_db = GeoDatabase(
-            "route53-mapping", self.oracle, GeoDbParams(), seed=cfg.geodb_seed + 12
-        )
-        self.rdns = ReverseDNS(self.oracle, seed=cfg.rdns_seed)
-        self.resolvers = ResolverPool(self.probes, seed=cfg.resolver_seed)
-        self.usable_probes: list[Probe] = self.probes.usable_probes()
-        self.probe_by_id: dict[int, Probe] = {
-            p.probe_id: p for p in self.usable_probes
-        }
-        self.groups: list[ProbeGroup] = group_probes(self.probes.all_probes())
-        self.eg3_service = self.edgio.eg3.service_for(EG3_HOSTNAME, self.edgio_db)
-        self.eg4_service = self.edgio.eg4.service_for(EG4_HOSTNAME, self.edgio_db)
-        self.im6_service = self.imperva.im6.service_for(IM6_HOSTNAME, self.imperva_db)
+        with obs.span("world.build", config=cfg.name):
+            with obs.span("world.topology"):
+                self.topology: Topology = InternetBuilder(cfg.topology).build()
+            with obs.span("world.deployments"):
+                self.edgio: EdgioModel = build_edgio(
+                    self.topology, seed=cfg.deployment_seed
+                )
+                self.imperva: ImpervaModel = build_imperva(
+                    self.topology, seed=cfg.deployment_seed + 1
+                )
+                self.tangled: TangledTestbed = build_tangled(
+                    self.topology, seed=cfg.deployment_seed + 2
+                )
+            with obs.span("world.probes"):
+                self.probes = ProbePopulation(self.topology, cfg.probes)
+            with obs.span("world.measurement"):
+                self.registry = ServiceRegistry()
+                self.edgio.eg3.register(self.registry)
+                self.edgio.eg4.register(self.registry)
+                self.imperva.im6.register(self.registry)
+                self.imperva.ns.register(self.registry)
+                self.tangled.register(self.registry)
+                self.engine = MeasurementEngine(
+                    self.topology, self.registry, seed=cfg.measurement_seed
+                )
+            with obs.span("world.geoloc"):
+                self.oracle = GeoOracle(self.topology, self.probes)
+                self.databases = default_databases(self.oracle, seed=cfg.geodb_seed)
+                #: CDNs' internal client-mapping databases (distinct error draws).
+                self.edgio_db = GeoDatabase(
+                    "edgio-mapping", self.oracle, GeoDbParams(),
+                    seed=cfg.geodb_seed + 10
+                )
+                self.imperva_db = GeoDatabase(
+                    "imperva-mapping", self.oracle, GeoDbParams(),
+                    seed=cfg.geodb_seed + 11
+                )
+                self.route53_db = GeoDatabase(
+                    "route53-mapping", self.oracle, GeoDbParams(),
+                    seed=cfg.geodb_seed + 12
+                )
+                self.rdns = ReverseDNS(self.oracle, seed=cfg.rdns_seed)
+            with obs.span("world.dns"):
+                self.resolvers = ResolverPool(self.probes, seed=cfg.resolver_seed)
+            with obs.span("world.grouping"):
+                self.usable_probes: list[Probe] = self.probes.usable_probes()
+                self.probe_by_id: dict[int, Probe] = {
+                    p.probe_id: p for p in self.usable_probes
+                }
+                self.groups: list[ProbeGroup] = group_probes(
+                    self.probes.all_probes()
+                )
+            with obs.span("world.services"):
+                self.eg3_service = self.edgio.eg3.service_for(
+                    EG3_HOSTNAME, self.edgio_db
+                )
+                self.eg4_service = self.edgio.eg4.service_for(
+                    EG4_HOSTNAME, self.edgio_db
+                )
+                self.im6_service = self.imperva.im6.service_for(
+                    IM6_HOSTNAME, self.imperva_db
+                )
+            obs.gauge.set("world.usable_probes", len(self.usable_probes))
+            obs.gauge.set("world.probe_groups", len(self.groups))
         self._ping_cache: dict[tuple[IPv4Address, object], dict[int, PingResult]] = {}
         self._trace_cache: dict[IPv4Address, dict[int, TracerouteResult]] = {}
         self._resolve_cache: dict[tuple[str, DnsMode], dict[int, IPv4Address]] = {}
@@ -111,10 +136,12 @@ class World:
         key = (addr, salt)
         cached = self._ping_cache.get(key)
         if cached is None:
-            cached = {
-                p.probe_id: self.engine.ping(p, addr, salt=salt)
-                for p in self.usable_probes
-            }
+            with obs.span("world.ping_all", addr=str(addr)):
+                cached = {
+                    p.probe_id: self.engine.ping(p, addr, salt=salt)
+                    for p in self.usable_probes
+                }
+                obs.counter.inc("measurement.pings", len(cached))
             self._ping_cache[key] = cached
         return cached
 
@@ -122,10 +149,12 @@ class World:
         """Traceroute to ``addr`` from every usable probe (cached)."""
         cached = self._trace_cache.get(addr)
         if cached is None:
-            cached = {
-                p.probe_id: self.engine.traceroute(p, addr)
-                for p in self.usable_probes
-            }
+            with obs.span("world.trace_all", addr=str(addr)):
+                cached = {
+                    p.probe_id: self.engine.traceroute(p, addr)
+                    for p in self.usable_probes
+                }
+                obs.counter.inc("measurement.traceroutes", len(cached))
             self._trace_cache[addr] = cached
         return cached
 
@@ -136,10 +165,12 @@ class World:
         key = (service.hostname, mode)
         cached = self._resolve_cache.get(key)
         if cached is None:
-            cached = {
-                p.probe_id: self.resolvers.resolve(service, p, mode)
-                for p in self.usable_probes
-            }
+            with obs.span("world.resolve_all", hostname=service.hostname,
+                          mode=mode.value):
+                cached = {
+                    p.probe_id: self.resolvers.resolve(service, p, mode)
+                    for p in self.usable_probes
+                }
             self._resolve_cache[key] = cached
         return cached
 
@@ -192,7 +223,10 @@ class World:
         cached = self._sitemap_cache.get(key)
         if cached is None:
             traces = self.trace_all(addr)
-            cached = self.site_mapper(published).map_traces(traces, self.probe_by_id)
+            with obs.span("world.map_sites", addr=str(addr)):
+                cached = self.site_mapper(published).map_traces(
+                    traces, self.probe_by_id
+                )
             self._sitemap_cache[key] = cached
         return cached
 

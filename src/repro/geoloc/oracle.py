@@ -12,6 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro import obs
 from repro.geo.atlas import City
 from repro.geo.coords import GeoPoint
 from repro.measurement.probes import ProbePopulation
@@ -66,6 +67,7 @@ class GeoOracle:
     # ------------------------------------------------------------------
     def attribute(self, addr: IPv4Address) -> AddressAttribution | None:
         """Ground truth for an address, or None for unknown space."""
+        obs.counter.inc("geoloc.oracle_lookups")
         info = self._topology.interface_info(addr)
         if info is not None:
             node = self._topology.node(info.node_id)
@@ -111,6 +113,7 @@ class GeoOracle:
 
     def attribute_subnet(self, subnet: IPv4Prefix) -> AddressAttribution | None:
         """Ground truth for a client /24 (as carried in EDNS Client Subnet)."""
+        obs.counter.inc("geoloc.oracle_subnet_lookups")
         owner = self._subnets.get(subnet)
         if owner is None:
             return None

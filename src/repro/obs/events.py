@@ -1,0 +1,81 @@
+"""JSONL event streaming for long recordings.
+
+A run that takes minutes should be observable *while it runs*: the
+recorder can mirror every span start/end to an append-only JSONL file
+through an :class:`EventSink`.  Unlike the manifest (written once at the
+end), the event stream is flushed incrementally, so a killed run still
+leaves a usable timeline behind.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Protocol
+
+
+class EventSink(Protocol):
+    """Anything that can receive recorder events."""
+
+    def emit(self, event: dict[str, object]) -> None: ...  # pragma: no cover
+
+    def close(self) -> None: ...  # pragma: no cover
+
+
+class JsonlEventSink:
+    """Appends one JSON object per recorder event to a file.
+
+    The file handle is flushed every ``flush_every`` events so the
+    timeline of a long (or crashed) run is salvageable mid-flight.
+    """
+
+    def __init__(self, path: Path | str, flush_every: int = 32):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be positive: {flush_every!r}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._flush_every = flush_every
+        self._pending = 0
+        self._closed = False
+
+    def emit(self, event: dict[str, object]) -> None:
+        if self._closed:
+            return
+        json.dump(event, self._fh, separators=(",", ":"), default=str)
+        self._fh.write("\n")
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.flush()
+            self._fh.close()
+
+
+class ListEventSink:
+    """Collects events in memory; the sink used by tests."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, object]] = []
+        self.closed = False
+
+    def emit(self, event: dict[str, object]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def read_events(path: Path | str) -> list[dict[str, object]]:
+    """Parse a JSONL event stream back into a list of event dicts."""
+    events: list[dict[str, object]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,222 @@
+"""Summaries and A/B comparisons over run manifests.
+
+``repro obs summary`` answers "where did this run spend its time" (top-N
+span paths by *self* time — wall time not attributed to a child span —
+plus counter and gauge tables).  ``repro obs compare`` lines two runs up
+span-path by span-path and reports the wall-time deltas; with a
+``fail_over_pct`` threshold it flags regressions, which is what turns a
+pair of manifests into a CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.manifest import RunManifest
+from repro.obs.recorder import SpanRecord
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate of every span sharing one tree path."""
+
+    path: str
+    calls: int
+    wall_ms: float
+    self_ms: float
+    cpu_ms: float
+
+
+def aggregate_spans(root: SpanRecord) -> dict[str, SpanStat]:
+    """Per-path totals over a span tree (paths are slash-joined names)."""
+    sums: dict[str, list[float]] = {}
+    for path, record in root.walk():
+        entry = sums.setdefault(path, [0.0, 0.0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record.wall_ms
+        entry[2] += record.self_wall_ms
+        entry[3] += record.cpu_ms
+    return {
+        path: SpanStat(path=path, calls=int(entry[0]), wall_ms=entry[1],
+                       self_ms=entry[2], cpu_ms=entry[3])
+        for path, entry in sums.items()
+    }
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:10.1f}"
+
+
+def render_summary(manifest: RunManifest, top: int = 15) -> str:
+    """The human-readable report for one manifest."""
+    lines = [
+        f"run       {manifest.run_id}",
+        f"label     {manifest.label}",
+        f"config    {manifest.config_name or '-'}",
+        f"git       {manifest.git_sha or '-'}",
+        f"wall      {manifest.root.wall_ms / 1000.0:.2f}s  "
+        f"(cpu {manifest.root.cpu_ms / 1000.0:.2f}s)",
+    ]
+    if manifest.seeds:
+        seeds = ", ".join(f"{k}={v}" for k, v in sorted(manifest.seeds.items()))
+        lines.append(f"seeds     {seeds}")
+    stats = sorted(
+        aggregate_spans(manifest.root).values(),
+        key=lambda s: (-s.self_ms, s.path),
+    )
+    shown = stats[:top]
+    width = max((len(s.path) for s in shown), default=4)
+    lines += [
+        "",
+        f"top {len(shown)} span paths by self time:",
+        f"  {'path':{width}}  {'calls':>6}  {'wall ms':>10}  "
+        f"{'self ms':>10}  {'cpu ms':>10}",
+    ]
+    for stat in shown:
+        lines.append(
+            f"  {stat.path:{width}}  {stat.calls:6d}  {_fmt_ms(stat.wall_ms)}  "
+            f"{_fmt_ms(stat.self_ms)}  {_fmt_ms(stat.cpu_ms)}"
+        )
+    counters = manifest.counters()
+    if counters:
+        lines += ["", "counters:"]
+        cwidth = max(len(name) for name in counters)
+        for name in sorted(counters):
+            value = counters[name]
+            shown_value = int(value) if value == int(value) else round(value, 3)
+            lines.append(f"  {name:{cwidth}}  {shown_value}")
+    gauges = manifest.gauges()
+    if gauges:
+        lines += ["", "gauges:"]
+        gwidth = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:{gwidth}}  {gauges[name]:g}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SpanDelta:
+    """Wall-time movement of one span path between two runs."""
+
+    path: str
+    base_ms: float
+    other_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        return self.other_ms - self.base_ms
+
+    @property
+    def delta_pct(self) -> float | None:
+        """Relative change; None when the base had no time at this path."""
+        if self.base_ms <= 0.0:
+            return None
+        return 100.0 * (self.other_ms - self.base_ms) / self.base_ms
+
+    def regressed(self, fail_over_pct: float, min_wall_ms: float) -> bool:
+        """True when the other run is slower beyond the threshold.
+
+        Tiny spans (both sides under ``min_wall_ms``) are noise and never
+        count; span paths absent from the base run are reported but do
+        not fail the comparison.
+        """
+        if max(self.base_ms, self.other_ms) < min_wall_ms:
+            return False
+        pct = self.delta_pct
+        return pct is not None and pct > fail_over_pct
+
+
+def compare_manifests(
+    base: RunManifest, other: RunManifest
+) -> list[SpanDelta]:
+    """Per-span-path wall-time deltas, largest absolute movement first."""
+    base_stats = aggregate_spans(base.root)
+    other_stats = aggregate_spans(other.root)
+    paths = set(base_stats) | set(other_stats)
+    deltas = [
+        SpanDelta(
+            path=path,
+            base_ms=base_stats[path].wall_ms if path in base_stats else 0.0,
+            other_ms=other_stats[path].wall_ms if path in other_stats else 0.0,
+        )
+        for path in sorted(paths)
+    ]
+    deltas.sort(key=lambda d: (-abs(d.delta_ms), d.path))
+    return deltas
+
+
+def counter_deltas(
+    base: RunManifest, other: RunManifest
+) -> dict[str, tuple[float, float]]:
+    """``name -> (base, other)`` for every counter that moved."""
+    a, b = base.counters(), other.counters()
+    moved: dict[str, tuple[float, float]] = {}
+    for name in sorted(set(a) | set(b)):
+        pair = (a.get(name, 0.0), b.get(name, 0.0))
+        if pair[0] != pair[1]:  # repro-lint: disable=float-equality
+            moved[name] = pair
+    return moved
+
+
+def render_compare(
+    base: RunManifest,
+    other: RunManifest,
+    deltas: list[SpanDelta],
+    *,
+    fail_over_pct: float | None = None,
+    min_wall_ms: float = 25.0,
+    top: int = 20,
+) -> tuple[str, list[SpanDelta]]:
+    """The comparison report plus the regressions past the threshold."""
+    lines = [
+        f"base   {base.run_id}  ({base.config_name or '-'}, "
+        f"{base.root.wall_ms / 1000.0:.2f}s)",
+        f"other  {other.run_id}  ({other.config_name or '-'}, "
+        f"{other.root.wall_ms / 1000.0:.2f}s)",
+    ]
+    if base.git_sha != other.git_sha:
+        lines.append(f"git    {base.git_sha or '-'} -> {other.git_sha or '-'}")
+    shown = deltas[:top]
+    width = max((len(d.path) for d in shown), default=4)
+    lines += [
+        "",
+        f"top {len(shown)} span paths by |delta|:",
+        f"  {'path':{width}}  {'base ms':>10}  {'other ms':>10}  "
+        f"{'delta ms':>10}  {'delta %':>8}",
+    ]
+    for delta in shown:
+        pct = delta.delta_pct
+        pct_text = f"{pct:+7.1f}%" if pct is not None else "    new "
+        lines.append(
+            f"  {delta.path:{width}}  {_fmt_ms(delta.base_ms)}  "
+            f"{_fmt_ms(delta.other_ms)}  {delta.delta_ms:+10.1f}  {pct_text}"
+        )
+    moved = counter_deltas(base, other)
+    if moved:
+        lines += ["", "counters that moved:"]
+        cwidth = max(len(name) for name in moved)
+        for name, (a_val, b_val) in moved.items():
+            lines.append(f"  {name:{cwidth}}  {a_val:g} -> {b_val:g}")
+    regressions: list[SpanDelta] = []
+    if fail_over_pct is not None:
+        regressions = [
+            d for d in deltas if d.regressed(fail_over_pct, min_wall_ms)
+        ]
+        lines.append("")
+        if regressions:
+            lines.append(
+                f"REGRESSION: {len(regressions)} span path(s) slower than "
+                f"+{fail_over_pct:g}% (min {min_wall_ms:g} ms):"
+            )
+            for delta in regressions:
+                pct = delta.delta_pct
+                lines.append(
+                    f"  {delta.path}: {delta.base_ms:.1f} ms -> "
+                    f"{delta.other_ms:.1f} ms ({pct:+.1f}%)"
+                )
+        else:
+            lines.append(
+                f"ok: no span path regressed beyond +{fail_over_pct:g}% "
+                f"(min {min_wall_ms:g} ms)"
+            )
+    return "\n".join(lines), regressions

@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro import obs
 from repro.netaddr.ipv4 import IPv4Prefix
 from repro.routing.route import Announcement, OriginSpec, PrefTier, Route
 from repro.topology.asys import LinkKind
@@ -138,8 +139,13 @@ class RoutingEngine:
         key = (announcement, self._topology.version)
         table = self._cache.get(key)
         if table is None:
-            table = self._compute(announcement)
+            with obs.span("routing.compute",
+                          prefix=str(announcement.prefix),
+                          origins=len(announcement.origins)):
+                table = self._compute(announcement)
             self._cache[key] = table
+        else:
+            obs.counter.inc("routing.cache_hits")
         return table
 
     # ------------------------------------------------------------------
@@ -171,7 +177,10 @@ class RoutingEngine:
 
     def _make_choice(self, node: int, routes: list[Route]) -> RouteChoice:
         ordered = sorted(routes, key=lambda r: self._rank_key(node, r))
-        return RouteChoice(routes=tuple(ordered[: self.MAX_EQUAL_BEST]))
+        choice = RouteChoice(routes=tuple(ordered[: self.MAX_EQUAL_BEST]))
+        if len(choice.routes) > 1:
+            obs.counter.inc("routing.equal_best_splits")
+        return choice
 
     # ------------------------------------------------------------------
     def _compute(self, announcement: Announcement) -> RoutingTable:
@@ -199,118 +208,146 @@ class RoutingEngine:
             return spec is None or spec.announces_to(neighbor)
 
         # --- Stage 1: customer routes up ------------------------------
-        frontier = list(origin_spec)
-        while frontier:
-            candidates: dict[int, list[Route]] = {}
-            for u in frontier:
-                route_u = best[u].primary
-                for p in topo.providers_of(u):
-                    if p in best or not may_export(u, p):
+        with obs.span("routing.stage1_customer"):
+            export_checks = 0
+            routes_pushed = 0
+            frontier = list(origin_spec)
+            while frontier:
+                candidates: dict[int, list[Route]] = {}
+                for u in frontier:
+                    route_u = best[u].primary
+                    for p in topo.providers_of(u):
+                        if p in best:
+                            continue
+                        export_checks += 1
+                        if not may_export(u, p):
+                            continue
+                        if p in route_u.path:
+                            continue
+                        routes_pushed += 1
+                        candidates.setdefault(p, []).append(
+                            Route(
+                                prefix=prefix,
+                                origin=route_u.origin,
+                                path=(p,) + route_u.path,
+                                tier=PrefTier.CUSTOMER,
+                            )
+                        )
+                frontier = []
+                for p, routes in candidates.items():
+                    # BFS level fixes the hop count, so all are equal-best.
+                    best[p] = self._make_choice(p, routes)
+                    frontier.append(p)
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
+
+        # --- Stage 2: peer routes, one lateral hop ---------------------
+        with obs.span("routing.stage2_peer"):
+            export_checks = 0
+            routes_pushed = 0
+            peer_candidates: dict[int, list[Route]] = {}
+            for u, choice_u in best.items():
+                route_u = choice_u.primary
+                for v, kind in topo.peers_of(u):
+                    if v in best:
                         continue
-                    if p in route_u.path:
+                    export_checks += 1
+                    if not may_export(u, v):
                         continue
-                    candidates.setdefault(p, []).append(
+                    if v in route_u.path:
+                        continue
+                    tier = (
+                        PrefTier.RS_PEER
+                        if kind is LinkKind.PEER_ROUTE_SERVER
+                        else PrefTier.PEER
+                    )
+                    routes_pushed += 1
+                    peer_candidates.setdefault(v, []).append(
                         Route(
                             prefix=prefix,
                             origin=route_u.origin,
-                            path=(p,) + route_u.path,
-                            tier=PrefTier.CUSTOMER,
+                            path=(v,) + route_u.path,
+                            tier=tier,
                         )
                     )
-            frontier = []
-            for p, routes in candidates.items():
-                # BFS level fixes the hop count, so all are equal-best.
-                best[p] = self._make_choice(p, routes)
-                frontier.append(p)
-
-        # --- Stage 2: peer routes, one lateral hop ---------------------
-        peer_candidates: dict[int, list[Route]] = {}
-        for u, choice_u in best.items():
-            route_u = choice_u.primary
-            for v, kind in topo.peers_of(u):
-                if v in best or not may_export(u, v):
-                    continue
-                if v in route_u.path:
-                    continue
-                tier = (
-                    PrefTier.RS_PEER
-                    if kind is LinkKind.PEER_ROUTE_SERVER
-                    else PrefTier.PEER
-                )
-                peer_candidates.setdefault(v, []).append(
-                    Route(
-                        prefix=prefix,
-                        origin=route_u.origin,
-                        path=(v,) + route_u.path,
-                        tier=tier,
-                    )
-                )
-        for v, routes in peer_candidates.items():
-            top_tier = max(r.tier for r in routes)
-            tiered = [r for r in routes if r.tier is top_tier]
-            min_hops = min(r.hops for r in tiered)
-            equal = [r for r in tiered if r.hops == min_hops]
-            best[v] = self._make_choice(v, equal)
+            for v, routes in peer_candidates.items():
+                top_tier = max(r.tier for r in routes)
+                tiered = [r for r in routes if r.tier is top_tier]
+                min_hops = min(r.hops for r in tiered)
+                equal = [r for r in tiered if r.hops == min_hops]
+                best[v] = self._make_choice(v, equal)
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
 
         # --- Stage 3: provider routes down ------------------------------
-        heap: list[tuple[int, float, int, int, int]] = []
-        route_of_entry: dict[tuple[int, float, int, int, int], Route] = {}
+        with obs.span("routing.stage3_provider"):
+            export_checks = 0
+            routes_pushed = 0
+            heap: list[tuple[int, float, int, int, int]] = []
+            route_of_entry: dict[tuple[int, float, int, int, int], Route] = {}
 
-        def push(candidate: Route, via: int) -> None:
-            entry = (
-                candidate.hops,
-                self._exit_km(candidate.holder, via),
-                via,
-                candidate.origin,
-                candidate.holder,
-            )
-            route_of_entry[entry] = candidate
-            heapq.heappush(heap, entry)
-
-        for u, choice_u in best.items():
-            route_u = choice_u.primary
-            for c in topo.customers_of(u):
-                if c in best or not may_export(u, c):
-                    continue
-                if c in route_u.path:
-                    continue
-                push(
-                    Route(prefix=prefix, origin=route_u.origin,
-                          path=(c,) + route_u.path, tier=PrefTier.PROVIDER),
-                    via=u,
+            def push(candidate: Route, via: int) -> None:
+                nonlocal routes_pushed
+                routes_pushed += 1
+                entry = (
+                    candidate.hops,
+                    self._exit_km(candidate.holder, via),
+                    via,
+                    candidate.origin,
+                    candidate.holder,
                 )
-        provider_routes: dict[int, list[Route]] = {}
-        provider_hops: dict[int, int] = {}
-        while heap:
-            entry = heapq.heappop(heap)
-            cand = route_of_entry.pop(entry)
-            node = cand.holder
-            if node in best:
-                continue
-            assigned = provider_hops.get(node)
-            if assigned is None:
-                # First (best) provider route: assign and export onward.
-                provider_hops[node] = cand.hops
-                provider_routes[node] = [cand]
-                for c in topo.customers_of(node):
-                    if c in best or c in cand.path:
+                route_of_entry[entry] = candidate
+                heapq.heappush(heap, entry)
+
+            for u, choice_u in best.items():
+                route_u = choice_u.primary
+                for c in topo.customers_of(u):
+                    if c in best:
+                        continue
+                    export_checks += 1
+                    if not may_export(u, c):
+                        continue
+                    if c in route_u.path:
                         continue
                     push(
-                        Route(prefix=prefix, origin=cand.origin,
-                              path=(c,) + cand.path, tier=PrefTier.PROVIDER),
-                        via=node,
+                        Route(prefix=prefix, origin=route_u.origin,
+                              path=(c,) + route_u.path, tier=PrefTier.PROVIDER),
+                        via=u,
                     )
-            elif cand.hops == assigned:
-                # Equal-best alternate via a different neighbor.
-                existing = provider_routes[node]
-                if (
-                    len(existing) < self.MAX_EQUAL_BEST
-                    and all(r.next_hop != cand.next_hop for r in existing)
-                ):
-                    existing.append(cand)
-            # Longer provider routes are simply ignored.
-        for node, routes in provider_routes.items():
-            best[node] = self._make_choice(node, routes)
+            provider_routes: dict[int, list[Route]] = {}
+            provider_hops: dict[int, int] = {}
+            while heap:
+                entry = heapq.heappop(heap)
+                cand = route_of_entry.pop(entry)
+                node = cand.holder
+                if node in best:
+                    continue
+                assigned = provider_hops.get(node)
+                if assigned is None:
+                    # First (best) provider route: assign and export onward.
+                    provider_hops[node] = cand.hops
+                    provider_routes[node] = [cand]
+                    for c in topo.customers_of(node):
+                        if c in best or c in cand.path:
+                            continue
+                        push(
+                            Route(prefix=prefix, origin=cand.origin,
+                                  path=(c,) + cand.path, tier=PrefTier.PROVIDER),
+                            via=node,
+                        )
+                elif cand.hops == assigned:
+                    # Equal-best alternate via a different neighbor.
+                    existing = provider_routes[node]
+                    if (
+                        len(existing) < self.MAX_EQUAL_BEST
+                        and all(r.next_hop != cand.next_hop for r in existing)
+                    ):
+                        existing.append(cand)
+                # Longer provider routes are simply ignored.
+            for node, routes in provider_routes.items():
+                best[node] = self._make_choice(node, routes)
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
 
         table = RoutingTable(
             announcement=announcement,
@@ -318,4 +355,5 @@ class RoutingEngine:
             topology_version=topo.version,
         )
         table._num_nodes = topo.num_nodes
+        obs.gauge.set("routing.routed_nodes", len(best))
         return table

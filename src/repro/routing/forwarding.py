@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.geo.atlas import City
 from repro.geo.coords import FIBER_KM_PER_MS_RTT, GeoPoint
 from repro.netaddr.ipv4 import IPv4Address
@@ -123,7 +124,9 @@ def trace_forwarding_path(
     if last_mile_ms < 0:
         raise ValueError(f"last-mile latency must be non-negative: {last_mile_ms!r}")
     if table.choice_at(start_node) is None:
+        obs.counter.inc("forwarding.unreachable")
         return None
+    obs.counter.inc("forwarding.walks")
     node = start_node
     point = start_point
     total_km = 0.0
@@ -161,6 +164,7 @@ def trace_forwarding_path(
     dest = site_city(topology, node)
     total_km += point.distance_km(dest.location)
     rtt_ms = total_km / FIBER_KM_PER_MS_RTT + extra_ms
+    obs.counter.inc("forwarding.hops", len(hops))
     return ForwardingPath(
         node_path=tuple(node_path),
         origin=node,

@@ -6,6 +6,7 @@ import enum
 from collections import Counter
 from dataclasses import dataclass
 
+from repro import obs
 from repro.geo.atlas import City, WorldAtlas
 from repro.geo.coords import FIBER_KM_PER_MS_RTT, GeoPoint
 from repro.geoloc.database import GeoDatabase
@@ -204,6 +205,14 @@ class SiteMapper:
         probes_by_id: dict[int, Probe],
     ) -> SiteMappingResult:
         """Run the full §4.4 pipeline over one prefix's traceroutes."""
+        with obs.span("sitemap.map_traces", traces=len(traces)):
+            return self._map_traces(traces, probes_by_id)
+
+    def _map_traces(
+        self,
+        traces: dict[int, TracerouteResult],
+        probes_by_id: dict[int, Probe],
+    ) -> SiteMappingResult:
         # Gather witnesses and true hop locations per distinct p-hop.
         witnesses: dict[IPv4Address, list[Probe]] = {}
         hop_locations: dict[IPv4Address, GeoPoint] = {}
@@ -242,6 +251,10 @@ class SiteMapper:
             {r.site for r in resolutions.values() if r.site is not None},
             key=lambda c: c.iata,
         )
+        obs.counter.inc("sitemap.traces_mapped", len(traces))
+        obs.counter.inc("sitemap.phops_distinct", len(resolutions))
+        for technique, count in phops_by_technique.items():
+            obs.counter.inc(f"sitemap.phop.{technique.name.lower()}", count)
         return SiteMappingResult(
             resolutions=resolutions,
             catchment_site=catchment,

@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.geo.areas import Area
 from repro.geo.atlas import City, WorldAtlas, load_default_atlas
 from repro.netaddr.allocator import PrefixAllocator
@@ -179,14 +180,23 @@ class InternetBuilder:
     # ------------------------------------------------------------------
     def build(self) -> Topology:
         """Generate the Internet and validate it."""
-        topo = Topology()
-        topo.address_plan = self.plan  # type: ignore[attr-defined]
-        topo.atlas = self.atlas  # type: ignore[attr-defined]
-        tier1s = self._build_tier1s(topo)
-        transits = self._build_transits(topo, tier1s)
-        self._build_stubs(topo, transits)
-        self._build_ixps(topo)
-        topo.validate()
+        with obs.span("topology.generate", seed=self.params.seed):
+            topo = Topology()
+            topo.address_plan = self.plan  # type: ignore[attr-defined]
+            topo.atlas = self.atlas  # type: ignore[attr-defined]
+            with obs.span("topology.tier1s"):
+                tier1s = self._build_tier1s(topo)
+            with obs.span("topology.transits"):
+                transits = self._build_transits(topo, tier1s)
+            with obs.span("topology.stubs"):
+                self._build_stubs(topo, transits)
+            with obs.span("topology.ixps"):
+                self._build_ixps(topo)
+            with obs.span("topology.validate"):
+                topo.validate()
+            obs.counter.inc("topology.builds")
+            obs.gauge.set("topology.nodes", topo.num_nodes)
+            obs.gauge.set("topology.links", topo.num_links)
         return topo
 
     # ------------------------------------------------------------------

@@ -1,0 +1,314 @@
+"""Tests for the repro.obs subsystem: recorder, manifests, CLI reports."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import cli, obs
+from repro.obs.events import JsonlEventSink, ListEventSink, read_events
+from repro.obs.manifest import (
+    RunManifest,
+    from_recorder,
+    load_manifest,
+    new_run_id,
+    seeds_of,
+    tracing,
+    write_manifest,
+)
+from repro.obs.recorder import NULL_SPAN, SpanRecord
+from repro.obs.report import (
+    aggregate_spans,
+    compare_manifests,
+    counter_deltas,
+    render_compare,
+    render_summary,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    """Every test starts and ends with tracing disabled."""
+    obs.uninstall()
+    yield
+    obs.uninstall()
+
+
+class TestRecorder:
+    def test_span_nesting_builds_a_tree(self):
+        with obs.recording("t") as rec:
+            with obs.span("a"):
+                with obs.span("b"):
+                    pass
+                with obs.span("c", key="v"):
+                    pass
+            with obs.span("d"):
+                pass
+        root = rec.root
+        assert [c.name for c in root.children] == ["a", "d"]
+        a = root.children[0]
+        assert [c.name for c in a.children] == ["b", "c"]
+        assert a.children[1].attrs == {"key": "v"}
+        paths = [p for p, _ in root.walk()]
+        assert "t/a/b" in paths and "t/d" in paths
+
+    def test_span_times_are_recorded(self):
+        with obs.recording("t") as rec:
+            with obs.span("sleepy"):
+                time.sleep(0.02)
+        sleepy = rec.root.find("sleepy")
+        assert sleepy is not None
+        assert sleepy.wall_ms >= 15.0
+        assert sleepy.cpu_ms >= 0.0
+        assert rec.root.wall_ms >= sleepy.wall_ms
+
+    def test_self_time_excludes_children(self):
+        parent = SpanRecord(name="p", wall_ms=100.0)
+        parent.children.append(SpanRecord(name="c", wall_ms=60.0))
+        assert parent.self_wall_ms == pytest.approx(40.0)
+
+    def test_counters_attach_to_innermost_span(self):
+        with obs.recording("t") as rec:
+            obs.counter.inc("top", 1)
+            with obs.span("a"):
+                obs.counter.inc("x", 2)
+                with obs.span("b"):
+                    obs.counter.inc("x", 3)
+        assert rec.root.counters == {"top": 1.0}
+        a = rec.root.find("a")
+        b = rec.root.find("b")
+        assert a.counters == {"x": 2.0}
+        assert b.counters == {"x": 3.0}
+        assert rec.root.subtree_counters() == {"top": 1.0, "x": 5.0}
+
+    def test_gauges_last_write_wins_per_span(self):
+        with obs.recording("t") as rec:
+            with obs.span("a"):
+                obs.gauge.set("g", 1.0)
+                obs.gauge.set("g", 9.0)
+        assert rec.root.find("a").gauges == {"g": 9.0}
+
+    def test_error_status_on_exception(self):
+        with obs.recording("t") as rec:  # noqa: SIM117 - separate concerns
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("x")
+        assert rec.root.find("boom").status == "error"
+        # The stack unwound: a later span is a sibling, not a child.
+        assert obs.active() is None
+
+    def test_exception_does_not_wedge_the_stack(self):
+        with obs.recording("t") as rec:
+            with pytest.raises(RuntimeError):
+                with obs.span("outer"), obs.span("inner"):
+                    raise RuntimeError("x")
+            with obs.span("after"):
+                pass
+        assert [c.name for c in rec.root.children] == ["outer", "after"]
+
+    def test_recording_restores_previous_recorder(self):
+        outer = obs.install(obs.Recorder("outer"))
+        try:
+            with obs.recording("inner") as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+        finally:
+            obs.uninstall()
+
+    def test_find_all(self):
+        with obs.recording("t") as rec:
+            for _ in range(3):
+                with obs.span("rep"):
+                    pass
+        assert len(rec.root.find_all("rep")) == 3
+
+
+class TestDisabledNoOp:
+    def test_span_is_shared_null_singleton(self):
+        assert obs.active() is None
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", k=1) is NULL_SPAN
+        assert NULL_SPAN.record is None
+        with obs.span("nested"):
+            assert obs.active() is None
+
+    def test_counter_and_gauge_are_noops(self):
+        obs.counter.inc("nothing", 5)
+        obs.gauge.set("nothing", 5.0)
+        assert obs.active() is None
+
+    def test_disabled_overhead_is_small(self):
+        """200k disabled counter bumps must stay well under a second."""
+        start = time.perf_counter()
+        for _ in range(200_000):
+            obs.counter.inc("hot")
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+
+
+class TestEvents:
+    def test_events_stream_start_and_end(self):
+        sink = ListEventSink()
+        with obs.recording("t", event_sink=sink) as rec:
+            with obs.span("a"):
+                obs.counter.inc("n", 2)
+        assert rec.root.find("a") is not None
+        kinds = [(e["ev"], e["span"]) for e in sink.events]
+        assert kinds == [("start", "a"), ("end", "a")]
+        assert sink.events[1]["counters"] == {"n": 2.0}
+        assert sink.closed
+
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        with obs.recording("t", event_sink=sink):
+            with obs.span("a"), obs.span("b"):
+                pass
+        events = read_events(path)
+        assert [e["ev"] for e in events] == ["start", "start", "end", "end"]
+        assert events[1]["depth"] == 2
+
+
+def _manifest_with(spans: dict[str, float], run_id: str) -> RunManifest:
+    """A synthetic manifest whose root has one child per (name, wall_ms)."""
+    root = SpanRecord(name="run", wall_ms=sum(spans.values()))
+    for name, wall_ms in spans.items():
+        root.children.append(SpanRecord(name=name, wall_ms=wall_ms))
+    return RunManifest(run_id=run_id, label="run", config_name="small",
+                       seeds={"topology.seed": 42}, git_sha=None,
+                       argv=[], root=root)
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        with obs.recording("demo") as rec:
+            with obs.span("outer", size=3):
+                obs.counter.inc("c", 2)
+                obs.gauge.set("g", 1.5)
+                with obs.span("inner"):
+                    obs.counter.inc("c", 1)
+        manifest = from_recorder(rec, run_id="rt-1", argv=["--small"])
+        path = write_manifest(manifest, tmp_path)
+        assert path.name == "run-rt-1.json"
+        loaded = load_manifest(path)
+        assert loaded.run_id == "rt-1"
+        assert loaded.argv == ["--small"]
+        assert loaded.counters() == {"c": 3.0}
+        assert loaded.gauges() == {"g": 1.5}
+        assert loaded.root.to_dict() == manifest.root.to_dict()
+
+    def test_seeds_extraction_covers_nested_config(self):
+        from repro.experiments.config import SMALL
+
+        seeds = seeds_of(SMALL)
+        assert seeds["deployment_seed"] == 101
+        assert seeds["topology.seed"] == 42
+        assert seeds["probes.seed"] == 7
+
+    def test_run_ids_are_unique(self):
+        assert new_run_id() != new_run_id()
+
+    def test_tracing_writes_manifest_and_events(self, tmp_path):
+        with tracing(tmp_path, label="tr", argv=["x"]) as rec:
+            with obs.span("stage"):
+                obs.counter.inc("n")
+        assert rec.manifest_path is not None
+        loaded = load_manifest(rec.manifest_path)
+        assert loaded.label == "tr"
+        assert loaded.root.find("stage") is not None
+        events = list(tmp_path.glob("events-*.jsonl"))
+        assert len(events) == 1
+        assert read_events(events[0])
+        assert obs.active() is None
+
+    def test_tracing_none_is_disabled(self):
+        with tracing(None) as rec:
+            assert rec is None
+            assert obs.active() is None
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"no": "spans"}))
+        with pytest.raises(ValueError):
+            load_manifest(bad)
+
+
+class TestReport:
+    def test_aggregate_groups_by_path(self):
+        root = SpanRecord(name="r", wall_ms=10.0)
+        for wall in (2.0, 3.0):
+            root.children.append(SpanRecord(name="x", wall_ms=wall))
+        stats = aggregate_spans(root)
+        assert stats["r/x"].calls == 2
+        assert stats["r/x"].wall_ms == pytest.approx(5.0)
+        assert stats["r"].self_ms == pytest.approx(5.0)
+
+    def test_summary_mentions_spans_counters_and_seeds(self):
+        manifest = _manifest_with({"alpha": 5.0}, "s-1")
+        manifest.root.counters["hits"] = 4.0
+        text = render_summary(manifest)
+        assert "alpha" in text
+        assert "hits" in text
+        assert "topology.seed=42" in text
+
+    def test_compare_deltas_and_counter_moves(self):
+        a = _manifest_with({"x": 100.0, "y": 50.0}, "a")
+        b = _manifest_with({"x": 200.0, "y": 50.0}, "b")
+        a.root.counters["c"] = 1.0
+        b.root.counters["c"] = 2.0
+        deltas = compare_manifests(a, b)
+        by_path = {d.path: d for d in deltas}
+        assert by_path["run/x"].delta_ms == pytest.approx(100.0)
+        assert by_path["run/x"].delta_pct == pytest.approx(100.0)
+        assert by_path["run/y"].delta_ms == pytest.approx(0.0)
+        assert counter_deltas(a, b) == {"c": (1.0, 2.0)}
+
+    def test_regression_respects_min_wall_floor(self):
+        a = _manifest_with({"tiny": 1.0, "big": 100.0}, "a")
+        b = _manifest_with({"tiny": 10.0, "big": 100.0}, "b")
+        deltas = compare_manifests(a, b)
+        _, regressions = render_compare(a, b, deltas, fail_over_pct=50.0,
+                                        min_wall_ms=25.0)
+        assert regressions == []  # the 10x span is under the floor
+        _, regressions = render_compare(a, b, deltas, fail_over_pct=50.0,
+                                        min_wall_ms=0.5)
+        assert [d.path for d in regressions] == ["run/tiny"]
+
+
+class TestObsCli:
+    def test_summary_exit_codes(self, tmp_path, capsys):
+        manifest = _manifest_with({"alpha": 5.0}, "cli-1")
+        path = write_manifest(manifest, tmp_path)
+        assert cli.main(["obs", "summary", str(path)]) == 0
+        assert "alpha" in capsys.readouterr().out
+        assert cli.main(["obs", "summary", str(tmp_path / "missing.json")]) == 2
+
+    def test_compare_regression_gates_exit_code(self, tmp_path, capsys):
+        base = write_manifest(
+            _manifest_with({"slow": 100.0, "steady": 80.0}, "base"), tmp_path)
+        inflated = write_manifest(
+            _manifest_with({"slow": 250.0, "steady": 80.0}, "inflated"),
+            tmp_path)
+        same = write_manifest(
+            _manifest_with({"slow": 101.0, "steady": 80.0}, "same"), tmp_path)
+
+        # No threshold: informational, always 0.
+        assert cli.main(["obs", "compare", str(base), str(inflated)]) == 0
+        # Within threshold: 0.
+        assert cli.main(
+            ["obs", "compare", str(base), str(same), "--fail-over", "20"]
+        ) == 0
+        # Past threshold: non-zero, and the report names the span.
+        capsys.readouterr()
+        assert cli.main(
+            ["obs", "compare", str(base), str(inflated), "--fail-over", "20"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "run/slow" in out
+
+    def test_compare_rejects_unreadable_files(self, tmp_path):
+        assert cli.main(
+            ["obs", "compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        ) == 2

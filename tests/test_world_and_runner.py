@@ -63,11 +63,37 @@ class TestRunner:
             ((fig1, "Fig. 1 micro-case"), (table1, "Table 1 sites")),
         )
         stream = io.StringIO()
-        results = runner.run_all(small_world, stream=stream)
+        results, recording = runner.run_all(small_world, stream=stream)
         out = stream.getvalue()
         assert len(results) == 2
         assert "fig1" in out and "Table 1" in out
         assert "[Fig. 1 micro-case:" in out
+
+    def test_run_all_returns_span_tree(self, small_world, monkeypatch):
+        from repro import obs
+        from repro.experiments import fig1, table1
+
+        monkeypatch.setattr(
+            runner, "ALL_EXPERIMENTS",
+            ((fig1, "Fig. 1 micro-case"), (table1, "Table 1 sites")),
+        )
+        _, recording = runner.run_all(small_world, stream=io.StringIO())
+        # The private recorder is uninstalled again on the way out.
+        assert obs.active() is None
+        run_all_span = recording.root.find("experiments.run_all")
+        assert run_all_span is not None
+        names = [c.name for c in run_all_span.children]
+        assert names == ["experiment.fig1", "experiment.table1"]
+        assert all(c.wall_ms > 0.0 for c in run_all_span.children)
+
+    def test_runner_main_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--help"])
+        assert exc.value.code == 0
+        assert "--trace" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as exc:
+            runner.main(["--bogus-flag"])
+        assert exc.value.code == 2
 
     def test_experiment_list_is_complete(self):
         names = {m.__name__.rsplit(".", 1)[-1] for m, _ in runner.ALL_EXPERIMENTS}
