@@ -1,4 +1,4 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the merged ``BENCH_obs.json`` writer.
 
 Benchmarks run against the SMALL world so a full ``pytest benchmarks/
 --benchmark-only`` pass stays under a few minutes.  The world (and its
@@ -6,14 +6,31 @@ measurement caches) is session-scoped: the first benchmark iteration of
 each experiment pays the measurement cost, subsequent iterations measure
 the analysis pipeline over cached measurements — which is also how the
 experiments share work in production use.
+
+Every benchmark test contributes to one merged artifact: an autouse
+fixture times each test into the session collector, the experiment-suite
+bench adds its per-experiment span timings through the ``bench_obs``
+fixture, and :func:`pytest_sessionfinish` writes the whole thing as
+``BENCH_obs.json`` (path override: ``REPRO_BENCH_OBS``).  The artifact
+feeds ``repro obs ingest`` / ``repro obs trend``, so the benchmark
+trajectory accumulates across CI runs.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import SMALL
 from repro.experiments.world import World
+from repro.obs.manifest import current_git_sha
+
+#: Artifact layout version (see docs/observability.md).
+BENCH_SCHEMA = 1
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +40,56 @@ def world() -> World:
     # measure comparable work.
     w.ping_all(w.imperva.ns.address)
     return w
+
+
+@pytest.fixture(scope="session")
+def bench_obs(request) -> dict:
+    """The session collector behind the merged ``BENCH_obs.json``.
+
+    Keys: ``benchmarks`` (test name -> wall ms, filled automatically),
+    ``experiments`` (experiment name -> wall/cpu ms, filled by the
+    experiment-suite bench), ``counters``, ``total_wall_ms``.  The
+    collector is stashed on the pytest config so
+    :func:`pytest_sessionfinish` can write it after teardown.
+    """
+    collector = {
+        "benchmarks": {},
+        "experiments": {},
+        "counters": {},
+        "total_wall_ms": 0.0,
+    }
+    request.config._bench_obs = collector
+    return collector
+
+
+@pytest.fixture(autouse=True)
+def _collect_bench_wall(request, bench_obs):
+    """Time every benchmark test into the session collector."""
+    start = time.perf_counter()
+    yield
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    bench_obs["benchmarks"][request.node.name] = round(wall_ms, 3)
+    bench_obs["total_wall_ms"] += wall_ms
+
+
+def bench_artifact_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_OBS", "BENCH_obs.json"))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the merged artifact once, after the whole bench session."""
+    collector = getattr(session.config, "_bench_obs", None)
+    if not collector or not collector["benchmarks"]:
+        return
+    artifact = {
+        "schema": BENCH_SCHEMA,
+        "label": "bench",
+        "config": SMALL.name,
+        "git_sha": current_git_sha(),
+        "total_wall_ms": round(collector["total_wall_ms"], 3),
+        "experiments": collector["experiments"],
+        "benchmarks": collector["benchmarks"],
+        "counters": collector["counters"],
+    }
+    out = bench_artifact_path()
+    out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")

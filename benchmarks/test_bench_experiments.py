@@ -1,26 +1,22 @@
-"""Per-experiment wall-time artifact for the performance trajectory.
+"""Per-experiment wall-time series for the performance trajectory.
 
 Runs the full experiment suite on the shared small world under an obs
-recorder and writes ``BENCH_obs.json`` (override the path with the
-``REPRO_BENCH_OBS`` environment variable): one wall/CPU entry per
-experiment plus the run's counter totals.  CI uploads the file as an
-artifact, so per-PR timing deltas are a download away — and
-``repro obs compare`` can gate on the full manifests when needed.
+recorder and contributes one wall/CPU entry per experiment (plus the
+run's counter totals) to the session's merged ``BENCH_obs.json`` — see
+``benchmarks/conftest.py`` for the artifact writer.  CI ingests the file
+into the trend history, so per-PR timing deltas are a sparkline away —
+and ``repro obs compare`` can gate on the full manifests when needed.
 """
 
 from __future__ import annotations
 
 import io
-import json
-import os
-from pathlib import Path
 
 from repro import obs
 from repro.experiments import runner
-from repro.obs.manifest import current_git_sha
 
 
-def test_bench_emit_obs_artifact(world):
+def test_bench_emit_obs_artifact(world, bench_obs):
     results, recording = runner.run_all(world, stream=io.StringIO())
     assert len(results) == len(runner.ALL_EXPERIMENTS)
 
@@ -34,16 +30,8 @@ def test_bench_emit_obs_artifact(world):
             "cpu_ms": round(record.cpu_ms, 3),
         }
 
-    artifact = {
-        "schema": 1,
-        "config": world.config.name,
-        "git_sha": current_git_sha(),
-        "total_wall_ms": round(recording.root.wall_ms, 3),
-        "experiments": experiments,
-        "counters": recording.root.subtree_counters(),
-    }
-    out = Path(os.environ.get("REPRO_BENCH_OBS", "BENCH_obs.json"))
-    out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")
+    bench_obs["experiments"].update(experiments)
+    bench_obs["counters"].update(recording.root.subtree_counters())
 
     assert sum(e["wall_ms"] for e in experiments.values()) > 0.0
     assert obs.active() is None  # run_all cleaned up its private recorder

@@ -1,9 +1,10 @@
-"""Terminal CDF plots.
+"""Terminal CDF plots and sparklines.
 
 The paper's figures are CDF plots; for terminal-first workflows this
 module renders a set of labelled CDFs as an ASCII chart so experiment
 output can be eyeballed without leaving the shell (``python -m repro run
-fig6 --plots``).
+fig6 --plots``).  :func:`render_sparkline` is the one-line counterpart
+used by ``repro obs trend`` to show a wall-time series per experiment.
 """
 
 from __future__ import annotations
@@ -12,6 +13,38 @@ from repro.analysis.cdf import EmpiricalCDF
 
 #: Marker characters cycled across series.
 _MARKERS = "ox+*#@%&"
+
+#: Eight-level bar characters for one-line series rendering.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    values: list[float],
+    width: int = 32,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """One-line bar rendering of a numeric series, oldest first.
+
+    The last ``width`` values are shown, scaled between ``lo`` and
+    ``hi`` (default: the series min/max).  A flat series renders at the
+    lowest level so a later jump is visually unmissable.
+    """
+    if not values:
+        return ""
+    shown = values[-width:]
+    low = min(shown) if lo is None else lo
+    high = max(shown) if hi is None else hi
+    span = high - low
+    if span <= 0.0:
+        return _SPARK_LEVELS[0] * len(shown)
+    top = len(_SPARK_LEVELS) - 1
+    chars = []
+    for value in shown:
+        frac = (value - low) / span
+        level = int(round(frac * top))
+        chars.append(_SPARK_LEVELS[min(max(level, 0), top)])
+    return "".join(chars)
 
 
 def render_cdf_plot(

@@ -10,7 +10,10 @@ Commands:
 - ``lint``   — Layer-1 determinism linter (``--list-rules`` for ids);
 - ``verify --deep`` adds the Layer-2 routing-invariant analyzer;
 - ``obs``    — observability: ``summary`` / ``compare`` over the run
-  manifests that ``run --trace DIR`` / ``world --trace DIR`` write.
+  manifests that ``run --trace DIR`` / ``world --trace DIR`` write,
+  ``profile`` for span-aware function profiles, ``ingest`` / ``trend``
+  for the append-only benchmark history, and ``dashboard`` for the
+  combined per-run report (terminal or ``--html``).
 """
 
 from __future__ import annotations
@@ -80,8 +83,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
     from repro.obs.manifest import tracing
 
+    profiler = None
+    if args.profile:
+        from repro.obs.prof import SpanProfiler
+
+        profiler = SpanProfiler("repro-run")
     with tracing(args.trace, label="repro-run", config=cfg,
-                 argv=sys.argv[1:]) as recorder:
+                 argv=sys.argv[1:], profiler=profiler) as recorder:
         world = get_world(cfg)
         results = []
         with obs.span("experiments.run_all", experiments=len(selected)):
@@ -94,6 +102,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 if args.plots and hasattr(result, "render_plot"):
                     print(result.render_plot())
                 print(f"[{description}: {elapsed:.2f}s]\n")
+        if recorder is not None:
+            from repro.obs.health import record_health
+
+            # The claim scorecard re-runs experiments; only fold it in
+            # when this run already covered all of them.
+            record_health(world, include_claims=not wanted)
+    if profiler is not None and recorder is not None:
+        from repro.obs.prof import render_profile
+        from repro.obs.report import render_span_tree
+
+        print(render_span_tree(recorder.root))
+        print()
+        print(render_profile(profiler.snapshot()))
     if args.json:
         from repro.experiments.export import export_results
 
@@ -251,6 +272,95 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    """Profile one experiment (or the world build) grouped by span path."""
+    from repro.obs.manifest import tracing
+    from repro.obs.prof import SpanProfiler, render_profile
+    from repro.obs.report import render_span_tree
+
+    cfg = _config_from_args(args)
+    known = {
+        module.__name__.rsplit(".", 1)[-1]: (module, description)
+        for module, description in ALL_EXPERIMENTS
+    }
+    if args.target != "world" and args.target not in known:
+        print(f"unknown target: {args.target}", file=sys.stderr)
+        print(f"available: world, {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    profiler = SpanProfiler("repro-profile")
+    with tracing(args.trace, label="repro-profile", config=cfg,
+                 argv=sys.argv[1:], profiler=profiler) as recorder:
+        if args.target == "world":
+            World(cfg)
+        else:
+            world = get_world(cfg)
+            module, description = known[args.target]
+            run_instrumented(module, description, world)
+    assert recorder is not None  # a profiler forces recording
+    print(render_span_tree(recorder.root))
+    print()
+    print(render_profile(profiler.snapshot(), top_paths=args.top,
+                         top_functions=args.top))
+    if recorder.manifest_path is not None:
+        print(f"\n[obs] manifest written to {recorder.manifest_path}")
+    return 0
+
+
+def _cmd_obs_ingest(args: argparse.Namespace) -> int:
+    """Append run manifests / BENCH artifacts to the trend history."""
+    from repro.obs.trend import history_file, ingest_files
+
+    try:
+        records = ingest_files(args.history, args.files)
+    except (OSError, ValueError) as exc:
+        print(f"cannot ingest: {exc}", file=sys.stderr)
+        return 2
+    for record in records:
+        print(f"ingested {record.run_id} ({record.label}, "
+              f"{len(record.series)} series) -> "
+              f"{history_file(args.history, record.label)}")
+    return 0
+
+
+def _cmd_obs_trend(args: argparse.Namespace) -> int:
+    """Sparkline trends over the history; --gate fails on regressions."""
+    from repro.obs.trend import check_history
+
+    text, regressions = check_history(
+        args.history,
+        window=args.window,
+        top=args.top,
+        mad_k=args.mad_k,
+        min_rel_pct=args.min_rel,
+        min_wall_ms=args.min_wall,
+    )
+    print(text)
+    return 1 if args.gate and regressions else 0
+
+
+def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
+    """Combined report for one run: spans, profile, health, trends."""
+    from pathlib import Path
+
+    from repro.obs.manifest import load_manifest
+    from repro.obs.report import render_dashboard, render_dashboard_html
+
+    try:
+        manifest = load_manifest(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.run}: {exc}", file=sys.stderr)
+        return 2
+    print(render_dashboard(manifest, history_dir=args.history, top=args.top))
+    if args.html:
+        page = render_dashboard_html(manifest, history_dir=args.history,
+                                     top=args.top)
+        out = Path(args.html)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(page, encoding="utf-8")
+        print(f"\ndashboard written to {out}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments import fig1, fig7
 
@@ -288,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", metavar="DIR",
                        help="record an obs trace; writes run-<id>.json and "
                             "events-<id>.jsonl into DIR")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attribute wall time to functions per span path "
+                            "and print the tables after the run")
     p_run.set_defaults(func=_cmd_run)
 
     p_report = sub.add_parser(
@@ -325,7 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(func=_cmd_lint)
 
     p_obs = sub.add_parser(
-        "obs", help="observability: summarise or compare run manifests")
+        "obs",
+        help="observability: summary / compare / profile / ingest / "
+             "trend / dashboard")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_obs_summary = obs_sub.add_parser(
         "summary", help="where one traced run spent its time")
@@ -348,6 +463,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_compare.add_argument("--top", type=int, default=20, metavar="N",
                                help="span paths to show (default 20)")
     p_obs_compare.set_defaults(func=_cmd_obs_compare)
+    p_obs_profile = obs_sub.add_parser(
+        "profile",
+        help="span-aware function profile of one experiment or the world "
+             "build")
+    p_obs_profile.add_argument(
+        "target", help="an experiment name (see `repro list`) or 'world'")
+    p_obs_profile.add_argument("--small", action="store_true",
+                               help="use the reduced test-scale world")
+    p_obs_profile.add_argument("--top", type=int, default=8, metavar="N",
+                               help="span paths / functions per table "
+                                    "(default 8)")
+    p_obs_profile.add_argument("--trace", metavar="DIR",
+                               help="also write the manifest (profile "
+                                    "embedded) into DIR")
+    p_obs_profile.set_defaults(func=_cmd_obs_profile)
+    p_obs_ingest = obs_sub.add_parser(
+        "ingest",
+        help="append run manifests / BENCH_obs.json to the trend history")
+    p_obs_ingest.add_argument("files", nargs="+",
+                              help="run-<id>.json or BENCH_obs.json files")
+    p_obs_ingest.add_argument("--history", default="obs/history",
+                              metavar="DIR",
+                              help="history directory (default obs/history)")
+    p_obs_ingest.set_defaults(func=_cmd_obs_ingest)
+    p_obs_trend = obs_sub.add_parser(
+        "trend", help="sparkline wall-time trends over the ingested history")
+    p_obs_trend.add_argument("--history", default="obs/history",
+                             metavar="DIR",
+                             help="history directory (default obs/history)")
+    p_obs_trend.add_argument("--gate", action="store_true",
+                             help="exit non-zero when the latest run "
+                                  "regresses past the median+MAD threshold")
+    p_obs_trend.add_argument("--window", type=int, default=20, metavar="N",
+                             help="history window per metric (default 20)")
+    p_obs_trend.add_argument("--top", type=int, default=12, metavar="N",
+                             help="metrics shown per label (default 12)")
+    p_obs_trend.add_argument("--mad-k", type=float, default=4.0,
+                             metavar="K",
+                             help="MAD multiplier in the threshold "
+                                  "(default 4.0)")
+    p_obs_trend.add_argument("--min-rel", type=float, default=25.0,
+                             metavar="PCT",
+                             help="relative floor of the threshold "
+                                  "(default 25%%)")
+    p_obs_trend.add_argument("--min-wall", type=float, default=25.0,
+                             metavar="MS",
+                             help="ignore metrics under MS on both sides "
+                                  "(default 25)")
+    p_obs_trend.set_defaults(func=_cmd_obs_trend)
+    p_obs_dash = obs_sub.add_parser(
+        "dashboard",
+        help="combined report for one run: spans, profile, health, trends")
+    p_obs_dash.add_argument("run", help="a run-<id>.json manifest")
+    p_obs_dash.add_argument("--history", default=None, metavar="DIR",
+                            help="also render trend sparklines from DIR")
+    p_obs_dash.add_argument("--html", default=None, metavar="OUT",
+                            help="additionally write a static HTML page "
+                                 "to OUT")
+    p_obs_dash.add_argument("--top", type=int, default=10, metavar="N",
+                            help="rows per table (default 10)")
+    p_obs_dash.set_defaults(func=_cmd_obs_dashboard)
 
     p_demo = sub.add_parser("demo", help="run a micro-case standalone")
     p_demo.add_argument("case", choices=["fig1", "fig7"])

@@ -6,7 +6,8 @@ Usage::
 
 Prints every table and figure to stdout; ``--small`` runs on the reduced
 world used by tests, ``--trace DIR`` records an observability trace and
-writes ``run-<id>.json`` (plus a JSONL event stream) into DIR.
+writes ``run-<id>.json`` (plus a JSONL event stream) into DIR, and
+``--profile`` prints per-span-path function tables after the report.
 """
 
 from __future__ import annotations
@@ -118,6 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="DIR",
                         help="record an obs trace; writes run-<id>.json "
                              "and events-<id>.jsonl into DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute wall time to functions per span "
+                             "path and print the tables after the report")
     return parser
 
 
@@ -125,13 +129,27 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     cfg = config.SMALL if args.small else config.DEFAULT
     cli_argv = list(sys.argv[1:] if argv is None else argv)
-    with tracing(args.trace, label="runner", config=cfg, argv=cli_argv) as recorder:
+    profiler = None
+    if args.profile:
+        from repro.obs.prof import SpanProfiler
+
+        profiler = SpanProfiler("runner")
+    with tracing(args.trace, label="runner", config=cfg, argv=cli_argv,
+                 profiler=profiler) as recorder:
         start = time.perf_counter()
         world = get_world(cfg)
         print(f"[world '{cfg.name}' built in {time.perf_counter() - start:.2f}s: "
               f"{world.topology.num_nodes} nodes, {world.topology.num_links} links, "
               f"{len(world.usable_probes)} usable probes, {len(world.groups)} groups]\n")
         run_all(world)
+        if recorder is not None:
+            from repro.obs.health import record_health
+
+            record_health(world)
+    if profiler is not None:
+        from repro.obs.prof import render_profile
+
+        print(render_profile(profiler.snapshot()))
     if recorder is not None and recorder.manifest_path is not None:
         print(f"[obs] manifest written to {recorder.manifest_path}")
     return 0

@@ -15,6 +15,7 @@ source string without importing it.
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.lint.findings import RULES, Finding
 
@@ -51,6 +52,11 @@ _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
 
 #: Builtins whose single-argument call materialises iteration order.
 _ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Shape a static span name must have: dotted lowercase-ish segments.
+#: Trend series and profiler paths key on these names verbatim, so they
+#: must be grep-able string constants, not runtime-assembled values.
+_SPAN_NAME_RE = re.compile(r"^[A-Za-z0-9_-]+(\.[A-Za-z0-9_-]+)*$")
 
 
 def _is_set_expr(node: ast.expr) -> bool:
@@ -103,6 +109,12 @@ class Checker(ast.NodeVisitor):
         #: Bare names that are global-RNG functions (``from random import
         #: choice``), mapped to the module they came from.
         self._direct_rng_funcs: dict[str, str] = {}
+        #: Names bound to the ``repro.obs`` package (``from repro import
+        #: obs``), whose ``span`` attribute starts a recorded span.
+        self._obs_mods: set[str] = set()
+        #: Bare names bound to the span facade itself (``from repro.obs
+        #: import span`` / ``from repro.obs.recorder import span``).
+        self._span_funcs: set[str] = set()
 
     # ------------------------------------------------------------------
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
@@ -131,6 +143,8 @@ class Checker(ast.NodeVisitor):
                     self._numpy_random_mods.add(alias.asname)
                 else:
                     self._numpy_mods.add("numpy")
+            elif alias.name == "repro.obs" and alias.asname:
+                self._obs_mods.add(alias.asname)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -148,6 +162,14 @@ class Checker(ast.NodeVisitor):
                     self._direct_rng_funcs[alias.asname or alias.name] = (
                         "numpy.random"
                     )
+        elif node.module == "repro":
+            for alias in node.names:
+                if alias.name == "obs":
+                    self._obs_mods.add(alias.asname or alias.name)
+        elif node.module in ("repro.obs", "repro.obs.recorder"):
+            for alias in node.names:
+                if alias.name == "span":
+                    self._span_funcs.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -213,7 +235,47 @@ class Checker(ast.NodeVisitor):
                     f"{ctor}() without a seed is entropy-seeded",
                 )
         self._check_order_sensitive_call(node)
+        self._check_span_name(node)
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # obs-span-literal
+    # ------------------------------------------------------------------
+    def _is_span_call(self, func: ast.expr) -> bool:
+        """Whether ``func`` is the obs span facade (``obs.span`` / ``span``)."""
+        if isinstance(func, ast.Name):
+            return func.id in self._span_funcs
+        if isinstance(func, ast.Attribute) and func.attr == "span":
+            value = func.value
+            if isinstance(value, ast.Name):
+                return value.id in self._obs_mods
+            # import repro.obs  ->  repro.obs.span(...)
+            return (
+                isinstance(value, ast.Attribute)
+                and value.attr == "obs"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "repro"
+            )
+        return False
+
+    def _check_span_name(self, node: ast.Call) -> None:
+        if not self._is_span_call(node.func):
+            return
+        if not node.args:
+            return  # a missing name fails at runtime, not lint time
+        name = node.args[0]
+        if not isinstance(name, ast.Constant) or not isinstance(
+            name.value, str
+        ):
+            self._report(
+                "obs-span-literal", name,
+                "span name is computed at runtime, not a string literal",
+            )
+        elif not _SPAN_NAME_RE.match(name.value):
+            self._report(
+                "obs-span-literal", name,
+                f"span name {name.value!r} is not a dotted identifier",
+            )
 
     # ------------------------------------------------------------------
     # float-equality

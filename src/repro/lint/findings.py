@@ -82,6 +82,18 @@ RULES: dict[str, RuleSpec] = {
             hint="remove the stale name from __all__ or define it",
         ),
         RuleSpec(
+            rule_id="obs-span-literal",
+            summary=(
+                "obs.span(...) name is not a static dotted-string literal; "
+                "dynamic span names break trend-series matching and "
+                "profiler path grouping across runs"
+            ),
+            hint=(
+                "pass a literal like \"routing.compute\" and attach the "
+                "varying part as a span attribute (obs.span(\"x\", key=v))"
+            ),
+        ),
+        RuleSpec(
             rule_id="parse-error",
             summary="file could not be parsed as Python",
             hint="fix the syntax error",

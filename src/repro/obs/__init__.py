@@ -7,7 +7,14 @@ The observability substrate of the reproduction pipeline:
 - :mod:`repro.obs.events` — JSONL event streaming for long runs;
 - :mod:`repro.obs.manifest` — run manifests (config, seeds, git SHA,
   span tree) and the :func:`~repro.obs.manifest.tracing` helper;
-- :mod:`repro.obs.report` — ``obs summary`` / ``obs compare`` rendering.
+- :mod:`repro.obs.prof` — deterministic span-aware function profiler
+  (``repro obs profile``, ``repro run --profile``);
+- :mod:`repro.obs.trend` — append-only benchmark history and the
+  median+MAD regression gate (``repro obs ingest`` / ``trend``);
+- :mod:`repro.obs.health` — domain health gauges recorded at the end of
+  instrumented runs (``health.*``);
+- :mod:`repro.obs.report` — ``obs summary`` / ``obs compare`` /
+  ``obs dashboard`` rendering.
 
 Typical instrumentation::
 

@@ -71,11 +71,23 @@ class ListEventSink:
 
 
 def read_events(path: Path | str) -> list[dict[str, object]]:
-    """Parse a JSONL event stream back into a list of event dicts."""
+    """Parse a JSONL event stream back into a list of event dicts.
+
+    A truncated *final* line — the signature of a run killed mid-write —
+    is tolerated and dropped, so the timeline of a crashed run stays
+    readable.  A malformed line anywhere else means the file is corrupt,
+    not torn, and still raises.
+    """
     events: list[dict[str, object]] = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if any(later for later in lines[index + 1:]):
+                raise
+            break  # torn tail write; keep the parsed prefix
     return events

@@ -26,6 +26,7 @@ from typing import Iterator
 
 from repro.obs import recorder as _recorder
 from repro.obs.events import JsonlEventSink
+from repro.obs.prof import ProfileData, SpanProfiler
 from repro.obs.recorder import Recorder, SpanRecord
 
 #: Manifest schema version; bump on breaking layout changes.
@@ -95,6 +96,8 @@ class RunManifest:
     git_sha: str | None
     argv: list[str]
     root: SpanRecord
+    #: Function-level profile (repro.obs.prof), when the run was profiled.
+    profile: ProfileData | None = None
 
     def counters(self) -> dict[str, float]:
         """Counter totals over the whole span tree."""
@@ -108,7 +111,7 @@ class RunManifest:
         return values
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        data: dict[str, object] = {
             "schema": SCHEMA_VERSION,
             "run_id": self.run_id,
             "label": self.label,
@@ -118,6 +121,9 @@ class RunManifest:
             "argv": list(self.argv),
             "spans": self.root.to_dict(),
         }
+        if self.profile is not None:
+            data["profile"] = self.profile.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "RunManifest":
@@ -126,6 +132,11 @@ class RunManifest:
             raise ValueError("manifest has no 'spans' tree")
         seeds = data.get("seeds", {})
         argv = data.get("argv", [])
+        raw_profile = data.get("profile")
+        profile = (
+            ProfileData.from_dict(raw_profile)
+            if isinstance(raw_profile, dict) else None
+        )
         return cls(
             run_id=str(data.get("run_id", "")),
             label=str(data.get("label", "run")),
@@ -137,6 +148,7 @@ class RunManifest:
                      else str(data.get("git_sha"))),
             argv=[str(a) for a in argv] if isinstance(argv, list) else [],
             root=SpanRecord.from_dict(spans),
+            profile=profile,
         )
 
 
@@ -149,6 +161,10 @@ def from_recorder(
 ) -> RunManifest:
     """Freeze a recorder into a manifest (stamps the root totals)."""
     recorder.finish()
+    profile: ProfileData | None = None
+    if recorder.profiler is not None:
+        recorder.profiler.stop()
+        profile = recorder.profiler.snapshot()
     return RunManifest(
         run_id=run_id or new_run_id(),
         label=recorder.root.name,
@@ -157,6 +173,7 @@ def from_recorder(
         git_sha=current_git_sha(),
         argv=list(argv or []),
         root=recorder.root,
+        profile=profile,
     )
 
 
@@ -188,6 +205,7 @@ def tracing(
     label: str = "run",
     config: object = None,
     argv: list[str] | None = None,
+    profiler: SpanProfiler | None = None,
 ) -> Iterator[Recorder | None]:
     """Record the block and export ``run-<id>.json`` + event JSONL.
 
@@ -199,20 +217,34 @@ def tracing(
         if rec is not None:
             print(rec.manifest_path)
 
+    A ``profiler`` (see :mod:`repro.obs.prof`) is started on entry,
+    stopped on exit, and its snapshot is embedded in the manifest.  With
+    ``trace_dir=None`` but a profiler given, the block is still recorded
+    (so the profiler can group by span path) — only the file export is
+    skipped; ``manifest_path`` stays None.
+
     Whatever recorder was installed before is restored afterwards.
     """
-    if trace_dir is None:
+    if trace_dir is None and profiler is None:
         yield None
         return
-    out_dir = Path(trace_dir)
     run_id = new_run_id()
-    sink = JsonlEventSink(out_dir / f"events-{run_id}.jsonl")
-    recorder = Recorder(label, event_sink=sink)
+    sink: JsonlEventSink | None = None
+    out_dir: Path | None = None
+    if trace_dir is not None:
+        out_dir = Path(trace_dir)
+        sink = JsonlEventSink(out_dir / f"events-{run_id}.jsonl")
+    recorder = Recorder(label, event_sink=sink, profiler=profiler)
     previous = _recorder.active()
     _recorder.install(recorder)
+    if profiler is not None:
+        profiler.start()
     try:
         yield recorder
     finally:
         _recorder.install(previous)
+        if profiler is not None:
+            profiler.stop()
         manifest = from_recorder(recorder, config=config, run_id=run_id, argv=argv)
-        recorder.manifest_path = write_manifest(manifest, out_dir)
+        if out_dir is not None:
+            recorder.manifest_path = write_manifest(manifest, out_dir)

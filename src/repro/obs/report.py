@@ -1,16 +1,21 @@
-"""Summaries and A/B comparisons over run manifests.
+"""Summaries, A/B comparisons, and the run dashboard over manifests.
 
 ``repro obs summary`` answers "where did this run spend its time" (top-N
 span paths by *self* time — wall time not attributed to a child span —
 plus counter and gauge tables).  ``repro obs compare`` lines two runs up
 span-path by span-path and reports the wall-time deltas; with a
 ``fail_over_pct`` threshold it flags regressions, which is what turns a
-pair of manifests into a CI gate.
+pair of manifests into a CI gate.  ``repro obs dashboard`` composes the
+full picture for one run — span hotspots, profiler top functions, health
+gauges, and trend sparklines — as a terminal report or a static HTML
+page.
 """
 
 from __future__ import annotations
 
+import html as _html
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.obs.manifest import RunManifest
 from repro.obs.recorder import SpanRecord
@@ -91,6 +96,48 @@ def render_summary(manifest: RunManifest, top: int = 15) -> str:
         gwidth = max(len(name) for name in gauges)
         for name in sorted(gauges):
             lines.append(f"  {name:{gwidth}}  {gauges[name]:g}")
+    return "\n".join(lines)
+
+
+def render_span_tree(
+    root: SpanRecord,
+    *,
+    max_depth: int = 6,
+    min_wall_ms: float = 0.5,
+) -> str:
+    """Indented span tree with wall/self times, pre-order.
+
+    Children under ``min_wall_ms`` are folded into a single summary
+    line so deep traces stay readable.
+    """
+    lines = [f"{'span':52}  {'wall ms':>10}  {'self ms':>10}  {'cpu ms':>10}"]
+
+    def emit(record: SpanRecord, depth: int) -> None:
+        name = f"{'  ' * depth}{record.name}"
+        flag = "" if record.status == "ok" else f"  [{record.status}]"
+        lines.append(
+            f"{name:52}  {record.wall_ms:10.1f}  {record.self_wall_ms:10.1f}"
+            f"  {record.cpu_ms:10.1f}{flag}"
+        )
+        if depth >= max_depth:
+            if record.children:
+                lines.append(f"{'  ' * (depth + 1)}... "
+                             f"({len(record.children)} child span(s))")
+            return
+        hidden = 0
+        hidden_ms = 0.0
+        for child in record.children:
+            if child.wall_ms < min_wall_ms:
+                hidden += 1
+                hidden_ms += child.wall_ms
+                continue
+            emit(child, depth + 1)
+        if hidden:
+            pad = "  " * (depth + 1)
+            lines.append(f"{pad}({hidden} span(s) under {min_wall_ms:g} ms, "
+                         f"{hidden_ms:.1f} ms total)")
+
+    emit(root, 0)
     return "\n".join(lines)
 
 
@@ -220,3 +267,126 @@ def render_compare(
                 f"(min {min_wall_ms:g} ms)"
             )
     return "\n".join(lines), regressions
+
+
+# ----------------------------------------------------------------------
+# Dashboard: one run, every lens
+# ----------------------------------------------------------------------
+def _hotspot_table(manifest: RunManifest, top: int) -> str:
+    stats = sorted(
+        aggregate_spans(manifest.root).values(),
+        key=lambda s: (-s.self_ms, s.path),
+    )[:top]
+    width = max((len(s.path) for s in stats), default=4)
+    lines = [
+        f"  {'path':{width}}  {'calls':>6}  {'wall ms':>10}  "
+        f"{'self ms':>10}  {'cpu ms':>10}"
+    ]
+    for stat in stats:
+        lines.append(
+            f"  {stat.path:{width}}  {stat.calls:6d}  {_fmt_ms(stat.wall_ms)}  "
+            f"{_fmt_ms(stat.self_ms)}  {_fmt_ms(stat.cpu_ms)}"
+        )
+    return "\n".join(lines)
+
+
+def dashboard_sections(
+    manifest: RunManifest,
+    *,
+    history_dir: Path | str | None = None,
+    top: int = 10,
+) -> list[tuple[str, str]]:
+    """The dashboard's ``(title, body)`` sections, in display order."""
+    from repro.obs.health import health_gauges, render_health
+    from repro.obs.prof import render_profile
+
+    header = [
+        f"run       {manifest.run_id}",
+        f"label     {manifest.label}",
+        f"config    {manifest.config_name or '-'}",
+        f"git       {manifest.git_sha or '-'}",
+        f"wall      {manifest.root.wall_ms / 1000.0:.2f}s  "
+        f"(cpu {manifest.root.cpu_ms / 1000.0:.2f}s)",
+    ]
+    if manifest.seeds:
+        seeds = ", ".join(f"{k}={v}" for k, v in sorted(manifest.seeds.items()))
+        header.append(f"seeds     {seeds}")
+    sections = [
+        ("run", "\n".join(header)),
+        (f"span hotspots (top {top} by self time)",
+         _hotspot_table(manifest, top)),
+        ("span tree", render_span_tree(manifest.root)),
+    ]
+    if manifest.profile is not None:
+        sections.append(
+            ("profiler: hot functions by span path",
+             render_profile(manifest.profile, top_paths=top,
+                            top_functions=top)),
+        )
+    else:
+        sections.append(
+            ("profiler", "not profiled (re-run with --profile to attribute "
+                         "span time to functions)"),
+        )
+    sections.append(("health gauges", render_health(health_gauges(manifest))))
+    if history_dir is not None:
+        from repro.obs.trend import check_history
+
+        trend_text, _regressions = check_history(history_dir)
+        sections.append((f"trend ({history_dir})", trend_text))
+    return sections
+
+
+def render_dashboard(
+    manifest: RunManifest,
+    *,
+    history_dir: Path | str | None = None,
+    top: int = 10,
+) -> str:
+    """The combined terminal report for one traced run."""
+    parts = []
+    for title, body in dashboard_sections(
+        manifest, history_dir=history_dir, top=top
+    ):
+        rule = "-" * max(20, len(title) + 4)
+        parts.append(f"-- {title} {rule[len(title) + 4:]}\n{body}")
+    return "\n\n".join(parts)
+
+
+_HTML_STYLE = """\
+:root { color-scheme: light dark; }
+body { font-family: ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       background: Canvas; color: CanvasText; line-height: 1.45; }
+h1 { font-size: 1.25rem; border-bottom: 1px solid color-mix(in srgb, CanvasText 25%, Canvas);
+     padding-bottom: .5rem; }
+h2 { font-size: 1rem; margin-top: 2rem; }
+pre { background: color-mix(in srgb, CanvasText 6%, Canvas);
+      border: 1px solid color-mix(in srgb, CanvasText 15%, Canvas);
+      border-radius: 6px; padding: 1rem; overflow-x: auto; font-size: .85rem; }
+"""
+
+
+def render_dashboard_html(
+    manifest: RunManifest,
+    *,
+    history_dir: Path | str | None = None,
+    top: int = 10,
+) -> str:
+    """A self-contained static HTML page with the same sections."""
+    title = f"repro run {manifest.run_id}"
+    body = [f"<h1>{_html.escape(title)}</h1>"]
+    for section_title, text in dashboard_sections(
+        manifest, history_dir=history_dir, top=top
+    ):
+        body.append(f"<section><h2>{_html.escape(section_title)}</h2>")
+        body.append(f"<pre>{_html.escape(text)}</pre></section>")
+    return (
+        "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+        f"<title>{_html.escape(title)}</title>\n"
+        f"<style>\n{_HTML_STYLE}</style>\n</head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body>\n</html>\n"
+    )

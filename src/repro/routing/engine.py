@@ -129,6 +129,8 @@ class RoutingEngine:
         self._cache: dict[tuple[Announcement, int], RoutingTable] = {}
         self._exit_km_cache: dict[tuple[int, int], float] = {}
         self._exit_km_version = topology.version
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def topology(self) -> Topology:
@@ -139,14 +141,25 @@ class RoutingEngine:
         key = (announcement, self._topology.version)
         table = self._cache.get(key)
         if table is None:
+            self._cache_misses += 1
             with obs.span("routing.compute",
                           prefix=str(announcement.prefix),
                           origins=len(announcement.origins)):
                 table = self._compute(announcement)
             self._cache[key] = table
         else:
+            self._cache_hits += 1
             obs.counter.inc("routing.cache_hits")
         return table
+
+    def cache_stats(self) -> tuple[int, int]:
+        """Lifetime ``(hits, misses)`` of the routing-table cache."""
+        return self._cache_hits, self._cache_misses
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of ``compute`` calls served from the cache (0 when cold)."""
+        total = self._cache_hits + self._cache_misses
+        return self._cache_hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     def _exit_km(self, node_id: int, neighbor_id: int) -> float:

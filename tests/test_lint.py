@@ -273,6 +273,87 @@ class TestAllDrift:
         ) == []
 
 
+class TestObsSpanLiteral:
+    def test_fstring_span_name_fires(self):
+        assert fired(
+            """\
+            from repro import obs
+
+            def run(name, world):
+                with obs.span(f"experiment.{name}"):
+                    return world
+            """
+        ) == [("obs-span-literal", 4)]
+
+    def test_literal_span_name_is_clean(self):
+        assert fired(
+            """\
+            from repro import obs
+
+            with obs.span("routing.compute", prefix="x"):
+                pass
+            """
+        ) == []
+
+    def test_variable_span_name_fires(self):
+        assert fired(
+            """\
+            from repro import obs
+
+            label = "a" + "b"
+            with obs.span(label):
+                pass
+            """
+        ) == [("obs-span-literal", 4)]
+
+    def test_non_dotted_literal_fires(self):
+        findings = lint(
+            """\
+            from repro import obs
+
+            with obs.span("has spaces!"):
+                pass
+            """
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("obs-span-literal", 3)
+        ]
+        assert "has spaces!" in findings[0].message
+
+    def test_direct_span_import_fires(self):
+        assert fired(
+            """\
+            from repro.obs import span
+
+            def timed(stage):
+                with span("stage." + stage):
+                    pass
+            """
+        ) == [("obs-span-literal", 4)]
+
+    def test_unrelated_span_function_is_ignored(self):
+        assert fired(
+            """\
+            class Doc:
+                def span(self, text):
+                    return text
+
+            Doc().span(f"free-form {1}")
+            """
+        ) == []
+
+    def test_disable_comment_suppresses(self):
+        assert fired(
+            """\
+            from repro import obs
+
+            def run(name):
+                with obs.span(f"experiment.{name}"):  # repro-lint: disable=obs-span-literal -- fixture
+                    pass
+            """
+        ) == []
+
+
 class TestDisableComments:
     def test_disable_suppresses_named_rule(self):
         assert fired(

@@ -23,7 +23,11 @@ from repro.obs.report import (
     aggregate_spans,
     compare_manifests,
     counter_deltas,
+    dashboard_sections,
     render_compare,
+    render_dashboard,
+    render_dashboard_html,
+    render_span_tree,
     render_summary,
 )
 
@@ -170,6 +174,40 @@ class TestEvents:
         assert [e["ev"] for e in events] == ["start", "start", "end", "end"]
         assert events[1]["depth"] == 2
 
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        """A run killed mid-append leaves a readable prefix."""
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        with obs.recording("t", event_sink=sink):
+            with obs.span("a"):
+                pass
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"ev":"start","span":"torn","t_m')  # no newline, torn
+        events = read_events(path)
+        assert [e["ev"] for e in events] == ["start", "end"]
+        assert all(e["span"] == "a" for e in events)
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        """Corruption (not a crash) must not be silently skipped."""
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"ev":"start","span":"a","t_ms":0}\n'
+            "{not json}\n"
+            '{"ev":"end","span":"a","t_ms":1}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_trailing_blank_lines_after_torn_tail_ok(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"ev":"start","span":"a","t_ms":0}\n{"ev":"en\n\n',
+            encoding="utf-8",
+        )
+        events = read_events(path)
+        assert [e["ev"] for e in events] == ["start"]
+
 
 def _manifest_with(spans: dict[str, float], run_id: str) -> RunManifest:
     """A synthetic manifest whose root has one child per (name, wall_ms)."""
@@ -275,6 +313,109 @@ class TestReport:
         _, regressions = render_compare(a, b, deltas, fail_over_pct=50.0,
                                         min_wall_ms=0.5)
         assert [d.path for d in regressions] == ["run/tiny"]
+
+    def test_counter_deltas_defaults_missing_to_zero(self):
+        a = _manifest_with({"x": 1.0}, "a")
+        b = _manifest_with({"x": 1.0}, "b")
+        a.root.counters["only_base"] = 3.0
+        b.root.counters["only_other"] = 7.0
+        moved = counter_deltas(a, b)
+        assert moved["only_base"] == (3.0, 0.0)
+        assert moved["only_other"] == (0.0, 7.0)
+
+    def test_counter_deltas_skips_unchanged(self):
+        a = _manifest_with({"x": 1.0}, "a")
+        b = _manifest_with({"x": 1.0}, "b")
+        a.root.counters.update({"same": 5.0, "moved": 1.0})
+        b.root.counters.update({"same": 5.0, "moved": 2.0})
+        assert counter_deltas(a, b) == {"moved": (1.0, 2.0)}
+
+    def test_counter_deltas_aggregates_over_subtree(self):
+        a = _manifest_with({"x": 1.0}, "a")
+        b = _manifest_with({"x": 1.0}, "b")
+        a.root.children[0].counters["deep"] = 1.0
+        b.root.children[0].counters["deep"] = 4.0
+        b.root.counters["deep"] = 1.0  # adds to the subtree total
+        assert counter_deltas(a, b) == {"deep": (1.0, 5.0)}
+
+    def test_render_span_tree_folds_tiny_children(self):
+        root = SpanRecord(name="r", wall_ms=100.0)
+        root.children.append(SpanRecord(name="big", wall_ms=90.0))
+        root.children.append(SpanRecord(name="dust", wall_ms=0.1))
+        root.children.append(SpanRecord(name="mote", wall_ms=0.2))
+        text = render_span_tree(root, min_wall_ms=0.5)
+        assert "big" in text
+        assert "dust" not in text and "mote" not in text
+        assert "2 span(s) under 0.5 ms" in text
+
+    def test_render_span_tree_truncates_depth(self):
+        root = SpanRecord(name="d0", wall_ms=10.0)
+        node = root
+        for i in range(1, 5):
+            child = SpanRecord(name=f"d{i}", wall_ms=10.0)
+            node.children.append(child)
+            node = child
+        text = render_span_tree(root, max_depth=2, min_wall_ms=0.0)
+        assert "d2" in text
+        assert "d3" not in text
+        assert "child span(s)" in text
+
+
+class TestDashboard:
+    def _manifest(self) -> RunManifest:
+        manifest = _manifest_with({"alpha": 80.0, "beta": 20.0}, "dash-1")
+        manifest.root.children[0].gauges["health.claims.passed"] = 18.0
+        manifest.root.children[0].gauges["health.claims.total"] = 18.0
+        manifest.root.children[0].gauges["health.routing.cache_hit_rate"] = 0.9
+        return manifest
+
+    def test_sections_cover_every_lens(self):
+        sections = dashboard_sections(self._manifest())
+        titles = [title for title, _ in sections]
+        assert titles[0] == "run"
+        assert any("hotspots" in t for t in titles)
+        assert any(t == "span tree" for t in titles)
+        assert any("profiler" in t for t in titles)
+        assert any("health" in t for t in titles)
+
+    def test_terminal_dashboard_mentions_health_and_spans(self):
+        text = render_dashboard(self._manifest())
+        assert "alpha" in text
+        assert "claims    18/18 hold  [ok]" in text
+        assert "cache hit rate 90.0%" in text
+        assert "not profiled" in text  # no profile embedded
+
+    def test_trend_section_appears_with_history(self, tmp_path):
+        from repro.obs.trend import append_record, record_from_manifest
+
+        append_record(tmp_path, record_from_manifest(self._manifest()))
+        text = render_dashboard(self._manifest(), history_dir=tmp_path)
+        assert f"trend ({tmp_path})" in text
+
+    def test_html_page_is_escaped_and_self_contained(self):
+        manifest = self._manifest()
+        manifest.root.children[0].attrs["note"] = "<script>alert(1)</script>"
+        page = render_dashboard_html(manifest)
+        assert page.startswith("<!doctype html>")
+        assert "<script>alert(1)" not in page
+        assert "run dash-1" in page
+        assert page.count("<pre>") == page.count("</pre>") >= 4
+
+    def test_cli_dashboard_writes_html(self, tmp_path, capsys):
+        path = write_manifest(self._manifest(), tmp_path)
+        out_html = tmp_path / "dash.html"
+        assert cli.main(
+            ["obs", "dashboard", str(path), "--html", str(out_html)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "span hotspots" in out
+        assert out_html.exists()
+        assert "run dash-1" in out_html.read_text(encoding="utf-8")
+
+    def test_cli_dashboard_rejects_missing_manifest(self, tmp_path):
+        assert cli.main(
+            ["obs", "dashboard", str(tmp_path / "nope.json")]
+        ) == 2
 
 
 class TestObsCli:
