@@ -27,7 +27,7 @@ import pytest
 
 from repro.experiments.config import SMALL
 from repro.experiments.world import World
-from repro.obs.manifest import current_git_sha
+from repro.obs.manifest import current_git_sha, new_run_id
 
 #: Artifact layout version (see docs/observability.md).
 BENCH_SCHEMA = 1
@@ -83,6 +83,9 @@ def pytest_sessionfinish(session, exitstatus):
         return
     artifact = {
         "schema": BENCH_SCHEMA,
+        # Stamped into the file so re-ingesting the same artifact (a CI
+        # retry) dedupes by run id instead of double-counting.
+        "run_id": new_run_id(),
         "label": "bench",
         "config": SMALL.name,
         "git_sha": current_git_sha(),

@@ -13,7 +13,11 @@ Commands:
   manifests that ``run --trace DIR`` / ``world --trace DIR`` write,
   ``profile`` for span-aware function profiles, ``ingest`` / ``trend``
   for the append-only benchmark history, and ``dashboard`` for the
-  combined per-run report (terminal or ``--html``).
+  combined per-run report (terminal or ``--html``);
+- ``explain`` — decision provenance: ``client`` (why one probe landed
+  where it did, end to end), ``diff`` (attribute every flipped client
+  between two prefixes to the AS decision that changed, §5.4), and
+  ``catchment`` (per-site winner-tier breakdown of one prefix).
 """
 
 from __future__ import annotations
@@ -311,14 +315,18 @@ def _cmd_obs_ingest(args: argparse.Namespace) -> int:
     from repro.obs.trend import history_file, ingest_files
 
     try:
-        records = ingest_files(args.history, args.files)
+        results = ingest_files(args.history, args.files)
     except (OSError, ValueError) as exc:
         print(f"cannot ingest: {exc}", file=sys.stderr)
         return 2
-    for record in records:
-        print(f"ingested {record.run_id} ({record.label}, "
-              f"{len(record.series)} series) -> "
-              f"{history_file(args.history, record.label)}")
+    for record, appended in results:
+        if appended:
+            print(f"ingested {record.run_id} ({record.label}, "
+                  f"{len(record.series)} series) -> "
+                  f"{history_file(args.history, record.label)}")
+        else:
+            print(f"skipped {record.run_id} ({record.label}): "
+                  "already in history")
     return 0
 
 
@@ -358,6 +366,108 @@ def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(page, encoding="utf-8")
         print(f"\ndashboard written to {out}")
+    return 0
+
+
+def _explain_session(args: argparse.Namespace):
+    from repro.explain.journey import ExplainSession
+
+    return ExplainSession(get_world(_config_from_args(args)))
+
+
+def _cmd_explain_client(args: argparse.Namespace) -> int:
+    """End-to-end journey of one probe: DNS -> BGP trail -> landing site."""
+    from repro.obs.manifest import tracing
+
+    cfg = _config_from_args(args)
+    modes = ["regional", "global"] if args.mode == "both" else [args.mode]
+    with tracing(args.trace, label="repro-explain", config=cfg,
+                 argv=sys.argv[1:]) as recorder:
+        session = _explain_session(args)
+        try:
+            journeys = [session.journey(args.probe, mode) for mode in modes]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        from repro.explain.journey import render_journey
+
+        print("\n\n".join(
+            render_journey(j, session.topology) for j in journeys
+        ))
+        if recorder is not None:
+            recorder.explain_data = {
+                "journeys": [j.to_dict(session.topology) for j in journeys],
+            }
+    if recorder is not None and recorder.manifest_path is not None:
+        print(f"\n[obs] manifest written to {recorder.manifest_path}")
+    return 0
+
+
+def _cmd_explain_diff(args: argparse.Namespace) -> int:
+    """Catchment diff of two prefixes, each flip attributed to a decision."""
+    from repro.obs.manifest import tracing
+
+    cfg = _config_from_args(args)
+    with tracing(args.trace, label="repro-explain", config=cfg,
+                 argv=sys.argv[1:]) as recorder:
+        session = _explain_session(args)
+        from repro.explain.diff import (
+            diff_catchments,
+            diff_regional_vs_global,
+            render_diff_dict,
+        )
+
+        try:
+            if {args.a, args.b} == {"global", "regional"}:
+                diff = diff_regional_vs_global(session)
+            else:
+                diff = diff_catchments(
+                    session,
+                    session.announcement_for(args.a),
+                    session.announcement_for(args.b),
+                    label_a=args.a, label_b=args.b,
+                )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        data = diff.to_dict(session.topology)
+        print(render_diff_dict(data, max_examples=args.examples))
+        if recorder is not None:
+            recorder.explain_data = {"diffs": [data]}
+    if recorder is not None and recorder.manifest_path is not None:
+        print(f"\n[obs] manifest written to {recorder.manifest_path}")
+    return 0
+
+
+def _cmd_explain_catchment(args: argparse.Namespace) -> int:
+    """Catchment summary of one prefix with winner-tier breakdown."""
+    from collections import Counter
+
+    from repro.routing.inspect import summarize_catchment
+
+    session = _explain_session(args)
+    try:
+        announcement = session.announcement_for(args.prefix)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    table = session.table_for(announcement)
+    print(summarize_catchment(session.topology, table)
+          .render(session.topology))
+    tiers: Counter = Counter()
+    stages: Counter = Counter()
+    prefix = str(announcement.prefix)
+    for (trail_prefix, _node), trail in session.recorder.selection.items():
+        if trail_prefix != prefix:
+            continue
+        tiers[trail.winner_tier] += 1
+        stages[trail.stage] += 1
+    print("\nwinning tier per AS:")
+    for tier, count in tiers.most_common():
+        print(f"  {tier:10} {count:5}")
+    print("assigning stage per AS:")
+    for stage, count in stages.most_common():
+        print(f"  {stage:16} {count:5}")
     return 0
 
 
@@ -524,6 +634,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs_dash.add_argument("--top", type=int, default=10, metavar="N",
                             help="rows per table (default 10)")
     p_obs_dash.set_defaults(func=_cmd_obs_dashboard)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="decision provenance: why a client landed at a site "
+             "(client / diff / catchment)")
+    explain_sub = p_explain.add_subparsers(dest="explain_command",
+                                           required=True)
+    p_ex_client = explain_sub.add_parser(
+        "client",
+        help="end-to-end journey of one probe: DNS decision, per-AS "
+             "selection trail, forwarding hops, landing site")
+    p_ex_client.add_argument("probe", type=int, help="probe id")
+    p_ex_client.add_argument("--mode", choices=["regional", "global", "both"],
+                             default="both",
+                             help="deployment(s) to explain (default both)")
+    p_ex_client.add_argument("--small", action="store_true",
+                             help="use the reduced test-scale world")
+    p_ex_client.add_argument("--trace", metavar="DIR",
+                             help="write a run manifest with the journeys "
+                                  "embedded into DIR")
+    p_ex_client.set_defaults(func=_cmd_explain_client)
+    p_ex_diff = explain_sub.add_parser(
+        "diff",
+        help="catchment diff of two prefixes; attributes each flipped "
+             "client to the AS decision that changed (sec5.4)")
+    p_ex_diff.add_argument("a", help="address/prefix, or the pair "
+                                     "'global regional' for the sec5.4 "
+                                     "per-client comparison")
+    p_ex_diff.add_argument("b", help="address/prefix (or 'regional')")
+    p_ex_diff.add_argument("--small", action="store_true",
+                           help="use the reduced test-scale world")
+    p_ex_diff.add_argument("--examples", type=int, default=3, metavar="N",
+                           help="example flips shown per case (default 3)")
+    p_ex_diff.add_argument("--trace", metavar="DIR",
+                           help="write a run manifest with the diff "
+                                "embedded into DIR")
+    p_ex_diff.set_defaults(func=_cmd_explain_diff)
+    p_ex_catch = explain_sub.add_parser(
+        "catchment",
+        help="catchment summary of one prefix with winner-tier breakdown")
+    p_ex_catch.add_argument("prefix", help="an address inside the prefix")
+    p_ex_catch.add_argument("--small", action="store_true",
+                            help="use the reduced test-scale world")
+    p_ex_catch.set_defaults(func=_cmd_explain_catchment)
 
     p_demo = sub.add_parser("demo", help="run a micro-case standalone")
     p_demo.add_argument("case", choices=["fig1", "fig7"])

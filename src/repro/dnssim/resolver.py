@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 from repro import obs
 from repro.dnssim.service import GeoMappingService
+from repro.explain import provenance
+from repro.explain.provenance import DnsDecision
 from repro.measurement.probes import Probe, ProbePopulation
 from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
 
@@ -127,4 +129,29 @@ class ResolverPool:
             obs.counter.inc("dns.adns_queries")
         elif isinstance(source, IPv4Prefix):
             obs.counter.inc("dns.ecs_queries")
-        return service.answer_for_source(source)
+        answer = service.answer_for_source(source)
+        prov = provenance.active()
+        if prov is not None:
+            if mode is DnsMode.ADNS:
+                # The probe queried the authoritative directly; touching
+                # profile_for here would allocate resolver state an
+                # uninstrumented run never would.
+                resolver_addr, resolver_public = str(probe.addr), False
+            else:
+                profile = self.profile_for(probe)  # cached by query_source
+                resolver_addr, resolver_public = str(profile.addr), profile.is_public
+            country = service.mapped_country(source)
+            region = service.region_map.region_for(country)
+            prov.record_dns(DnsDecision(
+                probe_id=probe.probe_id,
+                hostname=service.hostname,
+                mode=mode.value,
+                resolver_addr=resolver_addr,
+                resolver_public=resolver_public,
+                ecs=isinstance(source, IPv4Prefix),
+                query_source=str(source),
+                mapped_country=country,
+                region=region,
+                answer=str(answer),
+            ))
+        return answer

@@ -1,0 +1,55 @@
+"""``repro.explain`` — decision provenance for the simulated Internet.
+
+Answers the question the obs layer cannot: *why did this client land at
+that site?*  Three layers:
+
+- :mod:`repro.explain.provenance` — capture: optional recording hooks in
+  the routing engine (per-AS selection trails), the forwarding walker
+  (per-hop exit choices), and the DNS resolver pool (which resolver
+  profile / ECS path picked the regional prefix).  Off by default; the
+  disabled path is one global load and a ``None`` check.
+- :mod:`repro.explain.journey` — stitch: :class:`ClientJourney` composes
+  DNS decision → AS-by-AS BGP trail → forwarding walk → landing site for
+  any probe.
+- :mod:`repro.explain.diff` — attribute: a catchment-diff engine that
+  compares two routing worlds (regional vs global, pre/post failure) and
+  pins each flipped client on the specific AS decision that changed —
+  the mechanised form of the paper's §5.4 case attribution.
+
+Surfaced as ``repro explain client`` / ``diff`` / ``catchment``; journey
+and diff sections embed in run manifests and the obs dashboard.
+
+This package intentionally imports nothing heavy: the capture module is
+plain data so the routing hot path can import it cycle-free; the stitch
+and attribution layers are imported lazily by the CLI.
+"""
+
+from repro.explain.provenance import (
+    EXPLAIN_SCHEMA,
+    DnsDecision,
+    ForwardingStep,
+    ForwardingTrail,
+    ProvenanceRecorder,
+    RouteCandidate,
+    SelectionTrail,
+    active,
+    capturing,
+    emit,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "EXPLAIN_SCHEMA",
+    "DnsDecision",
+    "ForwardingStep",
+    "ForwardingTrail",
+    "ProvenanceRecorder",
+    "RouteCandidate",
+    "SelectionTrail",
+    "active",
+    "capturing",
+    "emit",
+    "install",
+    "uninstall",
+]

@@ -1,0 +1,294 @@
+"""Stitch provenance records into end-to-end client journeys.
+
+A :class:`ClientJourney` answers "why did this client land at that
+site?" by composing the three capture layers: the DNS decision that
+picked the address, the per-AS BGP selection trail along the realised
+path, and the hot-potato forwarding walk to the landing site.
+
+The world's shared routing engine caches tables computed *without*
+capture, so :class:`ExplainSession` recomputes them with a fresh engine
+while a recorder is installed — the production caches stay untouched and
+the session's own per-announcement cache keeps repeat journeys cheap.
+
+Serialised journeys (:meth:`ClientJourney.to_dict`) resolve node names
+eagerly, so the renderers work on plain dicts — run manifests and the
+obs dashboard can render journeys without a topology in hand.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.explain import provenance
+from repro.explain.provenance import (
+    EXPLAIN_SCHEMA,
+    DnsDecision,
+    ForwardingTrail,
+    ProvenanceRecorder,
+    SelectionTrail,
+)
+
+if TYPE_CHECKING:  # heavy layers, imported lazily at runtime
+    from repro.experiments.world import World
+    from repro.routing.engine import RoutingTable
+    from repro.routing.route import Announcement
+    from repro.topology.graph import Topology
+
+
+def node_label(topology: "Topology", node_id: int) -> str:
+    """Human-readable label of a topology node (``AS64512(name)``)."""
+    return str(topology.node(node_id))
+
+
+@dataclass(frozen=True)
+class ClientJourney:
+    """One probe's recorded path to its landing site, end to end."""
+
+    probe_id: int
+    #: ``regional`` (geo-DNS picks a regional prefix) or ``global``
+    #: (single worldwide anycast address).
+    mode: str
+    #: The address the client connected to.
+    addr: str
+    #: The anycast prefix covering that address.
+    prefix: str
+    #: The DNS decision that produced ``addr``; None for the global
+    #: deployment, whose single record involves no geo-DNS decision.
+    dns: DnsDecision | None
+    #: Selection trails of every AS on the realised path, client first.
+    trails: tuple[SelectionTrail, ...]
+    forwarding: ForwardingTrail | None
+    node_path: tuple[int, ...]
+    #: The landing site node (the catchment), None when unreachable.
+    origin: int | None
+    rtt_ms: float | None
+    #: IATA code of the landing site's city.
+    dest_city: str | None
+
+    @property
+    def reachable(self) -> bool:
+        return self.origin is not None
+
+    def to_dict(self, topology: "Topology") -> dict[str, object]:
+        """Plain-data form with node names resolved, renderable anywhere."""
+        return {
+            "schema": EXPLAIN_SCHEMA,
+            "probe": self.probe_id,
+            "mode": self.mode,
+            "addr": self.addr,
+            "prefix": self.prefix,
+            "dns": self.dns.to_dict() if self.dns is not None else None,
+            "trails": [t.to_dict() for t in self.trails],
+            "forwarding": (
+                self.forwarding.to_dict() if self.forwarding is not None else None
+            ),
+            "node_path": list(self.node_path),
+            "origin": self.origin,
+            "rtt_ms": round(self.rtt_ms, 3) if self.rtt_ms is not None else None,
+            "dest_city": self.dest_city,
+            "names": {
+                str(n): node_label(topology, n)
+                for n in sorted(set(self.node_path))
+            },
+        }
+
+
+class ExplainSession:
+    """Provenance-capturing recomputation context over one world.
+
+    Holds its own :class:`ProvenanceRecorder` and a fresh routing engine
+    so capture never interferes with (or misses) the world's production
+    routing cache.  Tables are cached per announcement within the
+    session; all journeys and diffs built from one session share the
+    recorder, which is what lets a diff read both worlds' trails.
+    """
+
+    def __init__(self, world: "World") -> None:
+        from repro.routing.engine import RoutingEngine
+
+        self.world = world
+        self.recorder = ProvenanceRecorder()
+        self._engine = RoutingEngine(world.engine.routing.topology)
+        self._tables: dict["Announcement", "RoutingTable"] = {}
+
+    @property
+    def topology(self) -> "Topology":
+        return self._engine.topology
+
+    @contextmanager
+    def _captured(self) -> Iterator[ProvenanceRecorder]:
+        """Install the session recorder, restoring the previous one."""
+        previous = provenance.active()
+        provenance.install(self.recorder)
+        try:
+            yield self.recorder
+        finally:
+            provenance.install(previous)
+
+    def table_for(self, announcement: "Announcement") -> "RoutingTable":
+        """Routing table with selection trails captured (session-cached)."""
+        table = self._tables.get(announcement)
+        if table is None:
+            with self._captured():
+                table = self._engine.compute(announcement)
+            self._tables[announcement] = table
+        return table
+
+    def announcement_for(self, addr: object) -> "Announcement":
+        """The announcement covering an address or CIDR prefix string."""
+        from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
+
+        if not isinstance(addr, IPv4Address):
+            text = str(addr)
+            if "/" in text:
+                addr = IPv4Prefix.parse(text).address(1)
+            else:
+                addr = IPv4Address.parse(text)
+        announcement = self.world.engine.registry.lookup(addr)
+        if announcement is None:
+            raise ValueError(f"no announcement covers {addr}")
+        return announcement
+
+    # ------------------------------------------------------------------
+    def journey(self, probe_id: int, mode: str = "regional") -> ClientJourney:
+        """Build the full journey of one probe under one deployment.
+
+        ``mode`` is ``regional`` (the world's geo-DNS service picks a
+        regional prefix, recorded as a :class:`DnsDecision`) or
+        ``global`` (the single global anycast address).
+        """
+        from repro.dnssim.resolver import DnsMode
+        from repro.routing.forwarding import trace_forwarding_path
+
+        probe = self.world.probe_by_id.get(probe_id)
+        if probe is None:
+            raise ValueError(f"unknown or unusable probe {probe_id}")
+        dns: DnsDecision | None = None
+        if mode == "regional":
+            service = self.world.im6_service
+            with self._captured() as rec:
+                addr = self.world.resolvers.resolve(service, probe, DnsMode.LDNS)
+            dns = rec.dns_for(probe_id, service.hostname, DnsMode.LDNS.value)
+        elif mode == "global":
+            addr = self.world.imperva.ns.address
+        else:
+            raise ValueError(f"mode must be 'regional' or 'global': {mode!r}")
+        announcement = self.announcement_for(addr)
+        table = self.table_for(announcement)
+        prefix = str(announcement.prefix)
+        with self._captured() as rec:
+            path = trace_forwarding_path(
+                self.topology, table, probe.as_node,
+                probe.location, probe.last_mile_ms,
+            )
+        if path is None:
+            return ClientJourney(
+                probe_id=probe_id, mode=mode, addr=str(addr), prefix=prefix,
+                dns=dns, trails=(), forwarding=None,
+                node_path=(probe.as_node,), origin=None, rtt_ms=None,
+                dest_city=None,
+            )
+        # Forwarding trails are last-write-wins per (prefix, start AS):
+        # read back immediately, while this walk is the latest.
+        forwarding = rec.forwarding_for(prefix, probe.as_node)
+        trails = tuple(
+            t for n in path.node_path
+            if (t := rec.selection_for(prefix, n)) is not None
+        )
+        return ClientJourney(
+            probe_id=probe_id, mode=mode, addr=str(addr), prefix=prefix,
+            dns=dns, trails=trails, forwarding=forwarding,
+            node_path=path.node_path, origin=path.origin,
+            rtt_ms=path.rtt_ms, dest_city=path.dest_city.iata,
+        )
+
+
+# ----------------------------------------------------------------------
+# Rendering (dict-based: works on manifest payloads without a topology)
+# ----------------------------------------------------------------------
+def _render_dns(dns: dict[str, object] | None, addr: object) -> list[str]:
+    if dns is None:
+        return [
+            f"DNS: single global anycast address — every query answers {addr}",
+        ]
+    kind = "public" if dns.get("resolver_public") else "ISP"
+    ecs = "with ECS" if dns.get("ecs") else "no ECS"
+    country = dns.get("mapped_country") or "unmapped"
+    return [
+        f"DNS ({dns.get('mode')}): resolver {dns.get('resolver_addr')} "
+        f"({kind}, {ecs}) -> authoritative saw {dns.get('query_source')} "
+        f"-> country {country} -> region {dns.get('region')} "
+        f"-> {dns.get('answer')}",
+    ]
+
+
+def _candidate_note(candidates: list[dict[str, object]]) -> str:
+    rejected = [c for c in candidates if not c.get("accepted")]
+    accepted = len(candidates) - len(rejected)
+    if not rejected:
+        return f"{accepted} candidate(s)"
+    reasons: dict[str, int] = {}
+    for c in rejected:
+        reason = str(c.get("reason", "?"))
+        reasons[reason] = reasons.get(reason, 0) + 1
+    detail = ", ".join(f"{n}x {r}" for r, n in sorted(reasons.items()))
+    return f"{accepted} accepted, {len(rejected)} rejected ({detail})"
+
+
+def render_journey_dict(data: dict[str, object]) -> str:
+    """Render one serialised journey as the looking-glass style report."""
+    names = data.get("names") or {}
+    assert isinstance(names, dict)
+
+    def label(node: object) -> str:
+        return str(names.get(str(node), f"node {node}"))
+
+    lines = [
+        f"== journey: probe {data.get('probe')} -> {data.get('addr')} "
+        f"({data.get('mode')}) ==",
+    ]
+    lines.extend(_render_dns(data.get("dns"), data.get("addr")))  # type: ignore[arg-type]
+    if data.get("origin") is None:
+        lines.append("client AS holds no route: unreachable")
+        return "\n".join(lines)
+    lines.append(f"BGP trail (prefix {data.get('prefix')}):")
+    trails = data.get("trails") or []
+    assert isinstance(trails, list)
+    for trail in trails:
+        candidates = trail.get("candidates") or []
+        lines.append(
+            f"  {label(trail.get('node'))}: {trail.get('winner_tier')} route, "
+            f"{trail.get('winner_hops')} hop(s) [{trail.get('stage')}; "
+            f"{_candidate_note(candidates)}]"
+        )
+        if len(candidates) > 1:
+            lines.append(f"    tie-break: {trail.get('tie_break')}")
+    forwarding = data.get("forwarding")
+    if isinstance(forwarding, dict):
+        lines.append("Forwarding (hot-potato per hop):")
+        steps = forwarding.get("steps") or []
+        assert isinstance(steps, list)
+        for step in steps:
+            options = step.get("options") or []
+            chosen = next((o for o in options if o.get("chosen")), None)
+            if chosen is None:  # pragma: no cover - trails always have one
+                continue
+            alts = len(options) - 1
+            alt_note = f", over {alts} alternative(s)" if alts else ""
+            lines.append(
+                f"  {label(step.get('node'))} exits via "
+                f"{label(chosen.get('next_hop'))} at {chosen.get('ic_city')} "
+                f"({chosen.get('km')} km{alt_note})"
+            )
+    rtt = data.get("rtt_ms")
+    lines.append(
+        f"Landing: {label(data.get('origin'))} in {data.get('dest_city')}"
+        + (f", rtt {rtt} ms" if rtt is not None else "")
+    )
+    return "\n".join(lines)
+
+
+def render_journey(journey: ClientJourney, topology: "Topology") -> str:
+    return render_journey_dict(journey.to_dict(topology))

@@ -115,6 +115,13 @@ class Checker(ast.NodeVisitor):
         #: Bare names bound to the span facade itself (``from repro.obs
         #: import span`` / ``from repro.obs.recorder import span``).
         self._span_funcs: set[str] = set()
+        #: Names bound to the ``repro.explain.provenance`` module (or
+        #: ``from repro.explain import provenance``), whose ``emit``
+        #: attribute records a breadcrumb event.
+        self._explain_mods: set[str] = set()
+        #: Bare names bound to the explain emit facade (``from
+        #: repro.explain import emit`` / ``...provenance import emit``).
+        self._emit_funcs: set[str] = set()
 
     # ------------------------------------------------------------------
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
@@ -145,6 +152,8 @@ class Checker(ast.NodeVisitor):
                     self._numpy_mods.add("numpy")
             elif alias.name == "repro.obs" and alias.asname:
                 self._obs_mods.add(alias.asname)
+            elif alias.name == "repro.explain.provenance" and alias.asname:
+                self._explain_mods.add(alias.asname)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -170,6 +179,16 @@ class Checker(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name == "span":
                     self._span_funcs.add(alias.asname or alias.name)
+        if node.module == "repro.explain":
+            for alias in node.names:
+                if alias.name == "provenance":
+                    self._explain_mods.add(alias.asname or alias.name)
+                elif alias.name == "emit":
+                    self._emit_funcs.add(alias.asname or alias.name)
+        elif node.module == "repro.explain.provenance":
+            for alias in node.names:
+                if alias.name == "emit":
+                    self._emit_funcs.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -236,6 +255,7 @@ class Checker(ast.NodeVisitor):
                 )
         self._check_order_sensitive_call(node)
         self._check_span_name(node)
+        self._check_event_name(node)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------
@@ -275,6 +295,44 @@ class Checker(ast.NodeVisitor):
             self._report(
                 "obs-span-literal", name,
                 f"span name {name.value!r} is not a dotted identifier",
+            )
+
+    # ------------------------------------------------------------------
+    # explain-event-literal
+    # ------------------------------------------------------------------
+    def _is_emit_call(self, func: ast.expr) -> bool:
+        """Whether ``func`` is the explain breadcrumb facade.
+
+        Matches only names bound to :mod:`repro.explain.provenance` (or
+        a bare ``emit`` imported from it) — never arbitrary ``.emit``
+        attributes, which other subsystems (e.g. obs event sinks) use
+        with non-name payloads.
+        """
+        if isinstance(func, ast.Name):
+            return func.id in self._emit_funcs
+        if isinstance(func, ast.Attribute) and func.attr == "emit":
+            value = func.value
+            if isinstance(value, ast.Name):
+                return value.id in self._explain_mods
+        return False
+
+    def _check_event_name(self, node: ast.Call) -> None:
+        if not self._is_emit_call(node.func):
+            return
+        if not node.args:
+            return  # a missing name fails at runtime, not lint time
+        name = node.args[0]
+        if not isinstance(name, ast.Constant) or not isinstance(
+            name.value, str
+        ):
+            self._report(
+                "explain-event-literal", name,
+                "event name is computed at runtime, not a string literal",
+            )
+        elif not _SPAN_NAME_RE.match(name.value):
+            self._report(
+                "explain-event-literal", name,
+                f"event name {name.value!r} is not a dotted identifier",
             )
 
     # ------------------------------------------------------------------

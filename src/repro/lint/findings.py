@@ -94,6 +94,18 @@ RULES: dict[str, RuleSpec] = {
             ),
         ),
         RuleSpec(
+            rule_id="explain-event-literal",
+            summary=(
+                "provenance.emit(...) event name is not a static "
+                "dotted-string literal; dynamic event names break "
+                "event-count grouping across capture sessions"
+            ),
+            hint=(
+                "pass a literal like \"routing.table-computed\" and attach "
+                "the varying part as a field (provenance.emit(\"x\", key=v))"
+            ),
+        ),
+        RuleSpec(
             rule_id="parse-error",
             summary="file could not be parsed as Python",
             hint="fix the syntax error",

@@ -98,6 +98,10 @@ class RunManifest:
     root: SpanRecord
     #: Function-level profile (repro.obs.prof), when the run was profiled.
     profile: ProfileData | None = None
+    #: Decision-provenance payload (repro.explain journeys/diffs), when
+    #: the run captured any.  Kept as plain data so loading a manifest
+    #: never imports the explain subsystem.
+    explain: dict[str, object] | None = None
 
     def counters(self) -> dict[str, float]:
         """Counter totals over the whole span tree."""
@@ -123,6 +127,8 @@ class RunManifest:
         }
         if self.profile is not None:
             data["profile"] = self.profile.to_dict()
+        if self.explain is not None:
+            data["explain"] = self.explain
         return data
 
     @classmethod
@@ -137,6 +143,8 @@ class RunManifest:
             ProfileData.from_dict(raw_profile)
             if isinstance(raw_profile, dict) else None
         )
+        raw_explain = data.get("explain")
+        explain = raw_explain if isinstance(raw_explain, dict) else None
         return cls(
             run_id=str(data.get("run_id", "")),
             label=str(data.get("label", "run")),
@@ -149,6 +157,7 @@ class RunManifest:
             argv=[str(a) for a in argv] if isinstance(argv, list) else [],
             root=SpanRecord.from_dict(spans),
             profile=profile,
+            explain=explain,
         )
 
 
@@ -174,6 +183,7 @@ def from_recorder(
         argv=list(argv or []),
         root=recorder.root,
         profile=profile,
+        explain=recorder.explain_data,
     )
 
 

@@ -222,6 +222,10 @@ class Recorder:
         self._finished = False
         #: Set by :func:`repro.obs.manifest.tracing` after export.
         self.manifest_path: Path | None = None
+        #: Serialised decision-provenance payload (repro.explain) to embed
+        #: in the run manifest, set by producers before tracing() exits.
+        #: Plain dicts only — the obs core never imports repro.explain.
+        self.explain_data: dict[str, object] | None = None
 
     @property
     def current(self) -> SpanRecord:

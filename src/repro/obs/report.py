@@ -290,6 +290,30 @@ def _hotspot_table(manifest: RunManifest, top: int) -> str:
     return "\n".join(lines)
 
 
+def render_explain_section(data: dict[str, object]) -> str:
+    """Render a manifest's ``explain`` payload (journeys and/or diffs).
+
+    The payload is plain data produced by ``repro explain ... --trace``;
+    the renderers are imported lazily so the obs core keeps no static
+    dependency on :mod:`repro.explain`.
+    """
+    from repro.explain.diff import render_diff_dict
+    from repro.explain.journey import render_journey_dict
+
+    parts: list[str] = []
+    journeys = data.get("journeys")
+    if isinstance(journeys, list):
+        parts.extend(render_journey_dict(j) for j in journeys
+                     if isinstance(j, dict))
+    diffs = data.get("diffs")
+    if isinstance(diffs, list):
+        parts.extend(render_diff_dict(d) for d in diffs
+                     if isinstance(d, dict))
+    if not parts:
+        return "no journeys or diffs recorded"
+    return "\n\n".join(parts)
+
+
 def dashboard_sections(
     manifest: RunManifest,
     *,
@@ -329,6 +353,11 @@ def dashboard_sections(
                          "span time to functions)"),
         )
     sections.append(("health gauges", render_health(health_gauges(manifest))))
+    if manifest.explain is not None:
+        sections.append(
+            ("explain: decision provenance",
+             render_explain_section(manifest.explain)),
+        )
     if history_dir is not None:
         from repro.obs.trend import check_history
 

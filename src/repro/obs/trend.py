@@ -161,9 +161,37 @@ def history_file(history_dir: Path | str, label: str) -> Path:
     return Path(history_dir) / f"{safe}.jsonl"
 
 
-def append_record(history_dir: Path | str, record: TrendRecord) -> Path:
-    """Append one record to its label's history file (created if missing)."""
+def _existing_run_ids(path: Path) -> set[str]:
+    """Run ids already present in one history file (torn tail tolerated)."""
+    if not path.exists():
+        return set()
+    run_ids: set[str] = set()
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail; load_label_history skips it too
+            if isinstance(data, dict) and "run_id" in data:
+                run_ids.add(str(data["run_id"]))
+    return run_ids
+
+
+def append_record(
+    history_dir: Path | str, record: TrendRecord, *, dedupe: bool = True
+) -> Path | None:
+    """Append one record to its label's history file (created if missing).
+
+    With ``dedupe`` (the default), a record whose run id is already in
+    the file is skipped and None is returned — re-ingesting the same
+    manifest is idempotent instead of double-counting a run.
+    """
     path = history_file(history_dir, record.label)
+    if dedupe and record.run_id in _existing_run_ids(path):
+        return None
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(record.to_dict(), separators=(",", ":"),
@@ -376,11 +404,16 @@ def check_history(
 
 def ingest_files(
     history_dir: Path | str, paths: Iterable[Path | str]
-) -> list[TrendRecord]:
-    """Append every artifact in ``paths`` to the history; returns records."""
-    records = []
+) -> list[tuple[TrendRecord, bool]]:
+    """Append every artifact in ``paths`` to the history.
+
+    Returns ``(record, appended)`` pairs; ``appended`` is False for
+    records whose run id was already in the history (idempotent
+    re-ingest, e.g. the same manifest passed twice or a CI retry).
+    """
+    results = []
     for path in paths:
         record = record_from_file(path)
-        append_record(history_dir, record)
-        records.append(record)
-    return records
+        appended = append_record(history_dir, record) is not None
+        results.append((record, appended))
+    return results

@@ -36,10 +36,17 @@ import heapq
 from dataclasses import dataclass
 
 from repro import obs
+from repro.explain import provenance
+from repro.explain.provenance import RouteCandidate, SelectionTrail
 from repro.netaddr.ipv4 import IPv4Prefix
 from repro.routing.route import Announcement, OriginSpec, PrefTier, Route
 from repro.topology.asys import LinkKind
 from repro.topology.graph import Topology
+
+#: Tie-break description recorded on selection trails: how the engine
+#: orders routes *within* one equal-best set (see :meth:`RoutingEngine
+#: ._rank_key`).
+HOT_POTATO_TIE_BREAK = "hot-potato: nearest exit-interconnect km, then neighbor id, then origin id"
 
 
 @dataclass(frozen=True)
@@ -188,12 +195,76 @@ class RoutingEngine:
         """Ordering of routes *within* one equal-best set."""
         return (self._exit_km(node, route.next_hop), route.next_hop, route.origin)
 
-    def _make_choice(self, node: int, routes: list[Route]) -> RouteChoice:
+    def _make_choice(
+        self,
+        node: int,
+        routes: list[Route],
+        *,
+        prov: provenance.ProvenanceRecorder | None = None,
+        stage: str = "",
+        rejected: list[RouteCandidate] | None = None,
+    ) -> RouteChoice:
         ordered = sorted(routes, key=lambda r: self._rank_key(node, r))
         choice = RouteChoice(routes=tuple(ordered[: self.MAX_EQUAL_BEST]))
         if len(choice.routes) > 1:
             obs.counter.inc("routing.equal_best_splits")
+        if prov is not None:
+            candidates = [
+                RouteCandidate(path=r.path, tier=r.tier.name.lower(),
+                               via=r.next_hop, accepted=True)
+                for r in choice.routes
+            ]
+            candidates.extend(
+                RouteCandidate(path=r.path, tier=r.tier.name.lower(),
+                               via=r.next_hop, accepted=False,
+                               reason="equal-best-overflow")
+                for r in ordered[self.MAX_EQUAL_BEST:]
+            )
+            if rejected:
+                candidates.extend(rejected)
+            del candidates[self.MAX_TRAIL_CANDIDATES:]
+            prov.record_selection(SelectionTrail(
+                prefix=str(choice.primary.prefix),
+                node_id=node,
+                stage=stage,
+                winner_tier=choice.tier.name.lower(),
+                winner_hops=choice.hops,
+                tie_break=HOT_POTATO_TIE_BREAK,
+                candidates=tuple(candidates),
+            ))
         return choice
+
+    #: Cap on candidates kept per selection trail; rejected offers past
+    #: this are dropped rather than growing trails without bound.
+    MAX_TRAIL_CANDIDATES = 64
+
+    def _record_reject(
+        self,
+        prov: provenance.ProvenanceRecorder,
+        prefix_str: str,
+        node: int,
+        candidate: RouteCandidate,
+    ) -> None:
+        """Append a rejected offer to a node's already-recorded trail.
+
+        Trails are frozen, so the stored one is replaced with a copy that
+        carries the extra candidate.  This is how a later stage's refused
+        offer (e.g. a provider route a customer-holding node turned down
+        — the paper's prefer-customer decision) lands on the record of
+        the decision that beat it.
+        """
+        trail = prov.selection_for(prefix_str, node)
+        if trail is None or len(trail.candidates) >= self.MAX_TRAIL_CANDIDATES:
+            return
+        prov.record_selection(SelectionTrail(
+            prefix=trail.prefix,
+            node_id=trail.node_id,
+            stage=trail.stage,
+            winner_tier=trail.winner_tier,
+            winner_hops=trail.winner_hops,
+            tie_break=trail.tie_break,
+            candidates=trail.candidates + (candidate,),
+        ))
 
     # ------------------------------------------------------------------
     def _compute(self, announcement: Announcement) -> RoutingTable:
@@ -216,6 +287,24 @@ class RoutingEngine:
             for site in origin_spec
         }
 
+        # Decision provenance (repro.explain): fetched once per compute;
+        # every capture site below guards on `prov is not None`, so the
+        # disabled path costs one global load and no per-route work.
+        prov = provenance.active()
+        if prov is not None:
+            for site in origin_spec:
+                prov.record_selection(SelectionTrail(
+                    prefix=str(prefix),
+                    node_id=site,
+                    stage="origin",
+                    winner_tier="origin",
+                    winner_hops=0,
+                    tie_break="originates the prefix",
+                    candidates=(RouteCandidate(
+                        path=(site,), tier="origin", via=site, accepted=True,
+                    ),),
+                ))
+
         def may_export(exporter: int, neighbor: int) -> bool:
             spec = origin_spec.get(exporter)
             return spec is None or spec.announces_to(neighbor)
@@ -227,15 +316,28 @@ class RoutingEngine:
             frontier = list(origin_spec)
             while frontier:
                 candidates: dict[int, list[Route]] = {}
+                level_rejects: dict[int, list[RouteCandidate]] = {}
                 for u in frontier:
                     route_u = best[u].primary
                     for p in topo.providers_of(u):
                         if p in best:
+                            if prov is not None:
+                                self._record_reject(prov, str(prefix), p, RouteCandidate(
+                                    path=(p,) + route_u.path, tier="customer",
+                                    via=u, accepted=False, reason="longer-path"))
                             continue
                         export_checks += 1
                         if not may_export(u, p):
+                            if prov is not None:
+                                level_rejects.setdefault(p, []).append(RouteCandidate(
+                                    path=(p,) + route_u.path, tier="customer",
+                                    via=u, accepted=False, reason="not-exported"))
                             continue
                         if p in route_u.path:
+                            if prov is not None:
+                                level_rejects.setdefault(p, []).append(RouteCandidate(
+                                    path=(p,) + route_u.path, tier="customer",
+                                    via=u, accepted=False, reason="loop"))
                             continue
                         routes_pushed += 1
                         candidates.setdefault(p, []).append(
@@ -249,7 +351,9 @@ class RoutingEngine:
                 frontier = []
                 for p, routes in candidates.items():
                     # BFS level fixes the hop count, so all are equal-best.
-                    best[p] = self._make_choice(p, routes)
+                    best[p] = self._make_choice(
+                        p, routes, prov=prov, stage="stage1-customer",
+                        rejected=level_rejects.get(p))
                     frontier.append(p)
             obs.counter.inc("routing.export_checks", export_checks)
             obs.counter.inc("routing.routes_pushed", routes_pushed)
@@ -259,15 +363,30 @@ class RoutingEngine:
             export_checks = 0
             routes_pushed = 0
             peer_candidates: dict[int, list[Route]] = {}
+            peer_rejects: dict[int, list[RouteCandidate]] = {}
             for u, choice_u in best.items():
                 route_u = choice_u.primary
                 for v, kind in topo.peers_of(u):
                     if v in best:
+                        if prov is not None:
+                            self._record_reject(prov, str(prefix), v, RouteCandidate(
+                                path=(v,) + route_u.path,
+                                tier=("rs_peer" if kind is LinkKind.PEER_ROUTE_SERVER
+                                      else "peer"),
+                                via=u, accepted=False, reason="held-better-tier"))
                         continue
                     export_checks += 1
                     if not may_export(u, v):
+                        if prov is not None:
+                            peer_rejects.setdefault(v, []).append(RouteCandidate(
+                                path=(v,) + route_u.path, tier="peer",
+                                via=u, accepted=False, reason="not-exported"))
                         continue
                     if v in route_u.path:
+                        if prov is not None:
+                            peer_rejects.setdefault(v, []).append(RouteCandidate(
+                                path=(v,) + route_u.path, tier="peer",
+                                via=u, accepted=False, reason="loop"))
                         continue
                     tier = (
                         PrefTier.RS_PEER
@@ -288,7 +407,23 @@ class RoutingEngine:
                 tiered = [r for r in routes if r.tier is top_tier]
                 min_hops = min(r.hops for r in tiered)
                 equal = [r for r in tiered if r.hops == min_hops]
-                best[v] = self._make_choice(v, equal)
+                if prov is not None:
+                    rejects = peer_rejects.setdefault(v, [])
+                    rejects.extend(
+                        RouteCandidate(path=r.path, tier=r.tier.name.lower(),
+                                       via=r.next_hop, accepted=False,
+                                       reason="lower-tier")
+                        for r in routes if r.tier is not top_tier
+                    )
+                    rejects.extend(
+                        RouteCandidate(path=r.path, tier=r.tier.name.lower(),
+                                       via=r.next_hop, accepted=False,
+                                       reason="longer-path")
+                        for r in tiered if r.hops != min_hops
+                    )
+                best[v] = self._make_choice(
+                    v, equal, prov=prov, stage="stage2-peer",
+                    rejected=peer_rejects.get(v))
             obs.counter.inc("routing.export_checks", export_checks)
             obs.counter.inc("routing.routes_pushed", routes_pushed)
 
@@ -312,15 +447,28 @@ class RoutingEngine:
                 route_of_entry[entry] = candidate
                 heapq.heappush(heap, entry)
 
+            provider_rejects: dict[int, list[RouteCandidate]] = {}
             for u, choice_u in best.items():
                 route_u = choice_u.primary
                 for c in topo.customers_of(u):
                     if c in best:
+                        if prov is not None:
+                            self._record_reject(prov, str(prefix), c, RouteCandidate(
+                                path=(c,) + route_u.path, tier="provider",
+                                via=u, accepted=False, reason="held-better-tier"))
                         continue
                     export_checks += 1
                     if not may_export(u, c):
+                        if prov is not None:
+                            provider_rejects.setdefault(c, []).append(RouteCandidate(
+                                path=(c,) + route_u.path, tier="provider",
+                                via=u, accepted=False, reason="not-exported"))
                         continue
                     if c in route_u.path:
+                        if prov is not None:
+                            provider_rejects.setdefault(c, []).append(RouteCandidate(
+                                path=(c,) + route_u.path, tier="provider",
+                                via=u, accepted=False, reason="loop"))
                         continue
                     push(
                         Route(prefix=prefix, origin=route_u.origin,
@@ -341,7 +489,20 @@ class RoutingEngine:
                     provider_hops[node] = cand.hops
                     provider_routes[node] = [cand]
                     for c in topo.customers_of(node):
-                        if c in best or c in cand.path:
+                        if c in best:
+                            if prov is not None:
+                                self._record_reject(
+                                    prov, str(prefix), c, RouteCandidate(
+                                        path=(c,) + cand.path, tier="provider",
+                                        via=node, accepted=False,
+                                        reason="held-better-tier"))
+                            continue
+                        if c in cand.path:
+                            if prov is not None:
+                                provider_rejects.setdefault(c, []).append(
+                                    RouteCandidate(
+                                        path=(c,) + cand.path, tier="provider",
+                                        via=node, accepted=False, reason="loop"))
                             continue
                         push(
                             Route(prefix=prefix, origin=cand.origin,
@@ -356,9 +517,25 @@ class RoutingEngine:
                         and all(r.next_hop != cand.next_hop for r in existing)
                     ):
                         existing.append(cand)
-                # Longer provider routes are simply ignored.
+                    elif prov is not None:
+                        reason = ("duplicate-exit"
+                                  if any(r.next_hop == cand.next_hop
+                                         for r in existing)
+                                  else "equal-best-overflow")
+                        provider_rejects.setdefault(node, []).append(RouteCandidate(
+                            path=cand.path, tier="provider",
+                            via=cand.next_hop, accepted=False, reason=reason))
+                else:
+                    # Longer provider routes are simply ignored.
+                    if prov is not None:
+                        provider_rejects.setdefault(node, []).append(RouteCandidate(
+                            path=cand.path, tier="provider",
+                            via=cand.next_hop, accepted=False,
+                            reason="longer-path"))
             for node, routes in provider_routes.items():
-                best[node] = self._make_choice(node, routes)
+                best[node] = self._make_choice(
+                    node, routes, prov=prov, stage="stage3-provider",
+                    rejected=provider_rejects.get(node))
             obs.counter.inc("routing.export_checks", export_checks)
             obs.counter.inc("routing.routes_pushed", routes_pushed)
 
@@ -369,4 +546,7 @@ class RoutingEngine:
         )
         table._num_nodes = topo.num_nodes
         obs.gauge.set("routing.routed_nodes", len(best))
+        if prov is not None:
+            prov.emit("routing.table-computed", prefix=str(prefix),
+                      routed=len(best), origins=len(origin_spec))
         return table

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import obs
+from repro.explain import provenance
+from repro.explain.provenance import ExitOption, ForwardingStep, ForwardingTrail
 from repro.geo.atlas import City
 from repro.geo.coords import FIBER_KM_PER_MS_RTT, GeoPoint
 from repro.netaddr.ipv4 import IPv4Address
@@ -100,6 +102,32 @@ def _pick_exit(
     return best[2], best[3]
 
 
+def _exit_options(
+    topology: Topology,
+    node: int,
+    routes: tuple[Route, ...],
+    point: GeoPoint,
+    chosen: Route,
+) -> tuple[ExitOption, ...]:
+    """Provenance record of every equal-best exit considered at a node.
+
+    Recomputes the per-route interconnect distances :func:`_pick_exit`
+    compared — only called when capture is enabled, so the hot path never
+    pays for it.
+    """
+    options = []
+    for route in routes:
+        link = topology.link_between(node, route.next_hop)
+        ic = nearest_interconnect(link, point)
+        options.append(ExitOption(
+            next_hop=route.next_hop,
+            ic_city=ic.city.iata,
+            km=ic.city.location.distance_km(point),
+            chosen=route is chosen,
+        ))
+    return tuple(options)
+
+
 def trace_forwarding_path(
     topology: Topology,
     table: RoutingTable,
@@ -127,6 +155,8 @@ def trace_forwarding_path(
         obs.counter.inc("forwarding.unreachable")
         return None
     obs.counter.inc("forwarding.walks")
+    prov = provenance.active()
+    steps: list[ForwardingStep] = []
     node = start_node
     point = start_point
     total_km = 0.0
@@ -146,6 +176,11 @@ def trace_forwarding_path(
             )
         else:
             route, ic = _pick_exit(topology, node, choice.routes, point)
+        if prov is not None:
+            steps.append(ForwardingStep(
+                node_id=node,
+                options=_exit_options(topology, node, choice.routes, point, route),
+            ))
         link = topology.link_between(node, route.next_hop)
         total_km += point.distance_km(ic.city.location)
         point = ic.city.location
@@ -165,6 +200,13 @@ def trace_forwarding_path(
     total_km += point.distance_km(dest.location)
     rtt_ms = total_km / FIBER_KM_PER_MS_RTT + extra_ms
     obs.counter.inc("forwarding.hops", len(hops))
+    if prov is not None:
+        prov.record_forwarding(ForwardingTrail(
+            prefix=str(table.prefix),
+            start_node=start_node,
+            origin=node,
+            steps=tuple(steps),
+        ))
     return ForwardingPath(
         node_path=tuple(node_path),
         origin=node,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro.explain import provenance
 from repro.routing.engine import RoutingTable
 from repro.routing.route import PrefTier, Route
 from repro.topology.graph import Topology
@@ -50,6 +51,23 @@ def show_route(topology: Topology, table: RoutingTable, node_id: int) -> str:
             f" {marker} path [{_named_path(topology, route)}] "
             f"tier={route.tier.name.lower()} hops={route.hops} via={via}"
         )
+    # With provenance capture on, the looking glass also shows *why*:
+    # the recorded selection trail including the routes that lost.
+    prov = provenance.active()
+    if prov is not None:
+        trail = prov.selection_for(str(table.prefix), node_id)
+        if trail is not None:
+            lines.append(f"   selection [{trail.stage}] "
+                         f"tie-break: {trail.tie_break}")
+            for cand in trail.rejected:
+                named = " ".join(
+                    topology.node(n).name for n in cand.path
+                    if topology.has_node(n)
+                )
+                lines.append(
+                    f"   x path [{named}] tier={cand.tier} "
+                    f"rejected: {cand.reason}"
+                )
     return "\n".join(lines)
 
 

@@ -50,6 +50,20 @@ class TestExamples:
         assert "Fig. 7" in result.stdout
         assert "regional anycast" in result.stdout
 
+    def test_explain_client_smoke(self):
+        # Probe 0 is usable in the (seed-pinned) SMALL world; the journey
+        # must print both deployments' complete paths.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "explain", "client", "0",
+             "--small"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "== journey: probe 0" in result.stdout
+        assert "(regional)" in result.stdout
+        assert "(global)" in result.stdout
+        assert "Landing: " in result.stdout
+
     def test_quickstart_runs(self):
         result = subprocess.run(
             [sys.executable, str(EXAMPLES / "quickstart.py")],

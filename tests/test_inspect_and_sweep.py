@@ -48,6 +48,80 @@ class TestLookingGlass:
         text = summary.render(small_world.topology)
         assert "tangled-" in text and "%" in text
 
+    def test_catchment_summary_of_empty_table(self, small_world):
+        from repro.netaddr.ipv4 import IPv4Prefix
+        from repro.routing.engine import RoutingEngine
+        from repro.routing.route import Announcement, OriginSpec
+
+        # Announced to nobody: the catchment is empty but the summary
+        # (and its renderer) must not divide by the zero total.
+        site = small_world.tangled.site("AMS")
+        ann = Announcement(
+            prefix=IPv4Prefix.parse("198.18.99.0/24"),
+            origins=(OriginSpec(site_node=site.node_id,
+                                neighbors=frozenset()),),
+        )
+        table = RoutingEngine(small_world.topology).compute(ann)
+        summary = summarize_catchment(small_world.topology, table)
+        assert summary.as_counts == {}
+        assert summary.unreachable_ases == small_world.topology.num_nodes - 1
+        text = summary.render(small_world.topology)
+        assert "(unreachable ASes:" in text
+
+    def test_catchment_summary_of_partial_table(self, small_world, table):
+        from repro.netaddr.ipv4 import IPv4Prefix
+        from repro.routing.engine import RoutingEngine
+        from repro.routing.route import Announcement, OriginSpec
+
+        # Announce through a single neighbor: some ASes are caught, the
+        # rest are unreachable, and both populations are accounted for.
+        site = small_world.tangled.site("AMS")
+        neighbor = sorted(small_world.topology.providers_of(site.node_id))[:1]
+        ann = Announcement(
+            prefix=IPv4Prefix.parse("198.18.98.0/24"),
+            origins=(OriginSpec(site_node=site.node_id,
+                                neighbors=frozenset(neighbor)),),
+        )
+        partial = RoutingEngine(small_world.topology).compute(ann)
+        summary = summarize_catchment(small_world.topology, partial)
+        caught = sum(summary.as_counts.values())
+        assert caught + summary.unreachable_ases == \
+            small_world.topology.num_nodes - 1
+        assert set(summary.as_counts) == {site.node_id}
+
+
+class TestOneHopForwarding:
+    def test_on_net_client_has_no_penultimate_hop(self, small_world):
+        from repro.routing.forwarding import (
+            site_city,
+            trace_forwarding_path,
+        )
+
+        table = small_world.engine.table_for(
+            small_world.tangled.global_deployment.address
+        )
+        origin = table.announcement.origins[0].site_node
+        start = site_city(small_world.topology, origin).location
+        path = trace_forwarding_path(
+            small_world.topology, table, origin, start, last_mile_ms=2.0,
+        )
+        assert path is not None
+        assert path.node_path == (origin,)
+        assert path.origin == origin
+        assert path.hops == ()
+        assert path.penultimate_hop is None
+        assert path.as_hops == 0
+        # Only the last mile (plus intra-city distance, zero here).
+        assert path.rtt_ms == pytest.approx(2.0)
+
+    def test_show_route_at_origin(self, small_world):
+        table = small_world.engine.table_for(
+            small_world.tangled.global_deployment.address
+        )
+        origin = table.announcement.origins[0].site_node
+        text = show_route(small_world.topology, table, origin)
+        assert "tier=origin" in text
+
 
 class TestProbeSweep:
     @pytest.fixture(scope="class")

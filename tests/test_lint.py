@@ -354,6 +354,83 @@ class TestObsSpanLiteral:
         ) == []
 
 
+class TestExplainEventLiteral:
+    def test_literal_event_name_is_clean(self):
+        assert fired(
+            """\
+            from repro.explain import provenance
+
+            provenance.emit("routing.table-computed", routed=12)
+            """
+        ) == []
+
+    def test_fstring_event_name_fires(self):
+        assert fired(
+            """\
+            from repro.explain import provenance
+
+            def done(prefix):
+                provenance.emit(f"routing.{prefix}")
+            """
+        ) == [("explain-event-literal", 4)]
+
+    def test_non_dotted_literal_fires(self):
+        findings = lint(
+            """\
+            from repro.explain import provenance
+
+            provenance.emit("free text name")
+            """
+        )
+        assert [(f.rule, f.line) for f in findings] == [
+            ("explain-event-literal", 3)
+        ]
+        assert "free text name" in findings[0].message
+
+    def test_bare_emit_import_fires(self):
+        assert fired(
+            """\
+            from repro.explain.provenance import emit
+
+            def done(n):
+                emit("routing." + str(n))
+            """
+        ) == [("explain-event-literal", 4)]
+
+    def test_aliased_module_import_fires(self):
+        assert fired(
+            """\
+            import repro.explain.provenance as prov
+
+            label = "a" + "b"
+            prov.emit(label)
+            """
+        ) == [("explain-event-literal", 4)]
+
+    def test_unrelated_emit_attribute_is_ignored(self):
+        # Arbitrary .emit attributes (loggers, signal buses) take free-
+        # form payloads; only the provenance facade is checked.
+        assert fired(
+            """\
+            class Bus:
+                def emit(self, payload):
+                    return payload
+
+            Bus().emit(f"free-form {1}")
+            """
+        ) == []
+
+    def test_disable_comment_suppresses(self):
+        assert fired(
+            """\
+            from repro.explain import provenance
+
+            def done(name):
+                provenance.emit(f"x.{name}")  # repro-lint: disable=explain-event-literal -- fixture
+            """
+        ) == []
+
+
 class TestDisableComments:
     def test_disable_suppresses_named_rule(self):
         assert fired(

@@ -121,6 +121,74 @@ class TestHistoryStore:
             load_label_history(path)
 
 
+class TestIdempotentIngest:
+    """Re-ingesting the same run id must not double-count it."""
+
+    def test_duplicate_run_id_is_skipped(self, tmp_path):
+        assert append_record(tmp_path, _record(0, 100.0)) is not None
+        assert append_record(tmp_path, _record(0, 150.0)) is None
+        records = load_history(tmp_path)["run"]
+        assert [r.run_id for r in records] == ["r000"]
+        # The first write wins: the duplicate's payload is discarded.
+        assert records[0].series == {"experiment.fig4": 100.0}
+
+    def test_dedupe_is_per_label(self, tmp_path):
+        append_record(tmp_path, _record(0, 100.0))
+        # Same run id under a different label lands in a different
+        # history file, so it appends.
+        assert append_record(tmp_path, _record(0, 100.0, label="other")) \
+            is not None
+
+    def test_dedupe_false_appends_anyway(self, tmp_path):
+        append_record(tmp_path, _record(0, 100.0))
+        assert append_record(tmp_path, _record(0, 100.0), dedupe=False) \
+            is not None
+        assert len(load_history(tmp_path)["run"]) == 2
+
+    def test_dedupe_tolerates_torn_tail(self, tmp_path):
+        path = append_record(tmp_path, _record(0, 100.0))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"run_id": "r001", "label": "ru')  # killed mid-append
+        # The torn line is ignored while scanning for existing ids, so a
+        # fresh run still appends and the duplicate is still caught.
+        assert append_record(tmp_path, _record(1, 100.0)) is not None
+        assert append_record(tmp_path, _record(0, 100.0)) is None
+
+    def test_ingest_files_reports_appended_flag(self, tmp_path):
+        from repro.obs.trend import ingest_files
+
+        bench = tmp_path / "BENCH_obs.json"
+        bench.write_text(json.dumps({
+            "run_id": "bench-run-1",
+            "label": "bench",
+            "total_wall_ms": 12.0,
+            "benchmarks": {"test_x": 12.0},
+        }))
+        history = tmp_path / "hist"
+        first = ingest_files(history, [bench])
+        second = ingest_files(history, [bench])
+        assert [appended for _, appended in first] == [True]
+        assert [appended for _, appended in second] == [False]
+        assert len(load_history(history)["bench"]) == 1
+
+    def test_cli_reingest_prints_skipped(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_obs.json"
+        bench.write_text(json.dumps({
+            "run_id": "bench-run-1",
+            "label": "bench",
+            "total_wall_ms": 12.0,
+            "benchmarks": {"test_x": 12.0},
+        }))
+        history = tmp_path / "hist"
+        assert cli.main(["obs", "ingest", str(bench),
+                         "--history", str(history)]) == 0
+        assert "ingested" in capsys.readouterr().out
+        assert cli.main(["obs", "ingest", str(bench),
+                         "--history", str(history)]) == 0
+        assert "skipped" in capsys.readouterr().out
+        assert len(load_history(history)["bench"]) == 1
+
+
 class TestDetectRegressions:
     def test_flat_history_is_quiet(self):
         assert detect_regressions(_flat_history()) == []
