@@ -17,7 +17,11 @@ Commands:
 - ``explain`` — decision provenance: ``client`` (why one probe landed
   where it did, end to end), ``diff`` (attribute every flipped client
   between two prefixes to the AS decision that changed, §5.4), and
-  ``catchment`` (per-site winner-tier breakdown of one prefix).
+  ``catchment`` (per-site winner-tier breakdown of one prefix);
+- ``cache`` — persistent routing-table cache: ``stats`` / ``clear``
+  (enable with ``--cache-dir`` / ``REPRO_CACHE_DIR`` on builds);
+- ``digest`` — routing-table digest over the announced prefixes; used
+  by CI to assert serial and ``REPRO_WORKERS=4`` runs are byte-equal.
 """
 
 from __future__ import annotations
@@ -37,11 +41,21 @@ def _config_from_args(args: argparse.Namespace):
     return config.SMALL if getattr(args, "small", False) else config.DEFAULT
 
 
+def _apply_cache_dir(args: argparse.Namespace) -> None:
+    """Honour ``--cache-dir DIR`` by overriding the default cache."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.par.cache import RoutingTableCache, set_default_cache
+
+        set_default_cache(RoutingTableCache(cache_dir))
+
+
 def _cmd_world(args: argparse.Namespace) -> int:
     from repro.obs.manifest import tracing
     from repro.topology.stats import summarize
 
     cfg = _config_from_args(args)
+    _apply_cache_dir(args)
     with tracing(args.trace, label="repro-world", config=cfg,
                  argv=sys.argv[1:]) as recorder:
         start = time.perf_counter()
@@ -87,6 +101,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
     from repro.obs.manifest import tracing
 
+    _apply_cache_dir(args)
     profiler = None
     if args.profile:
         from repro.obs.prof import SpanProfiler
@@ -97,15 +112,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         world = get_world(cfg)
         results = []
         with obs.span("experiments.run_all", experiments=len(selected)):
-            for module, description in selected:
-                start = time.perf_counter()
-                result, _record = run_instrumented(module, description, world)
-                elapsed = time.perf_counter() - start
-                results.append(result)
-                print(result.render())
-                if args.plots and hasattr(result, "render_plot"):
-                    print(result.render_plot())
-                print(f"[{description}: {elapsed:.2f}s]\n")
+            if args.parallel:
+                from repro.experiments.runner import run_selected_parallel
+
+                for (module, description), (result, wall_ms) in zip(
+                    selected, run_selected_parallel(world, selected)
+                ):
+                    results.append(result)
+                    print(result.render())
+                    if args.plots and hasattr(result, "render_plot"):
+                        print(result.render_plot())
+                    print(f"[{description}: {wall_ms / 1000.0:.2f}s]\n")
+            else:
+                for module, description in selected:
+                    start = time.perf_counter()
+                    result, _record = run_instrumented(module, description,
+                                                       world)
+                    elapsed = time.perf_counter() - start
+                    results.append(result)
+                    print(result.render())
+                    if args.plots and hasattr(result, "render_plot"):
+                        print(result.render_plot())
+                    print(f"[{description}: {elapsed:.2f}s]\n")
         if recorder is not None:
             from repro.obs.health import record_health
 
@@ -471,6 +499,48 @@ def _cmd_explain_catchment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Persistent routing-table cache: ``stats`` / ``clear``."""
+    from repro.par.cache import (
+        RoutingTableCache,
+        default_cache_dir,
+        resolve_cache,
+    )
+
+    if args.dir:
+        cache = RoutingTableCache(args.dir)
+    else:
+        cache = resolve_cache() or RoutingTableCache(default_cache_dir())
+    if args.cache_command == "stats":
+        entries, total_bytes = cache.disk_stats()
+        print(f"cache directory: {cache.directory}")
+        print(f"entries: {entries}")
+        print(f"bytes: {total_bytes}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} entries from {cache.directory}")
+    return 0
+
+
+def _cmd_digest(args: argparse.Namespace) -> int:
+    """Print the routing-table digest of a world's announced prefixes.
+
+    The digest covers every announcement in registration order and is
+    byte-identical across serial and parallel runs — the check CI runs
+    between its serial and ``REPRO_WORKERS=4`` legs.
+    """
+    from repro.par.cache import tables_digest
+
+    _apply_cache_dir(args)
+    cfg = _config_from_args(args)
+    world = World(cfg)
+    tables = world.engine.routing.compute_many(
+        world.registry.announcements()
+    )
+    print(tables_digest(tables))
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.experiments import fig1, fig7
 
@@ -491,6 +561,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the reduced test-scale world")
     p_world.add_argument("--trace", metavar="DIR",
                          help="record an obs trace of the build into DIR")
+    p_world.add_argument("--cache-dir", metavar="DIR",
+                         help="persist routing tables under DIR "
+                              "(see also REPRO_CACHE_DIR)")
     p_world.set_defaults(func=_cmd_world)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -511,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", action="store_true",
                        help="attribute wall time to functions per span path "
                             "and print the tables after the run")
+    p_run.add_argument("--parallel", action="store_true",
+                       help="run independent experiments across worker "
+                            "processes (worker count from REPRO_WORKERS)")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       help="persist routing tables under DIR "
+                            "(see also REPRO_CACHE_DIR)")
     p_run.set_defaults(func=_cmd_run)
 
     p_report = sub.add_parser(
@@ -678,6 +757,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_ex_catch.add_argument("--small", action="store_true",
                             help="use the reduced test-scale world")
     p_ex_catch.set_defaults(func=_cmd_explain_catchment)
+
+    p_cache = sub.add_parser(
+        "cache", help="persistent routing-table cache: stats / clear")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry count and size of the on-disk cache")
+    p_cache_stats.add_argument("--dir", metavar="DIR",
+                               help="cache directory (default: "
+                                    "REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_cache_stats.set_defaults(func=_cmd_cache)
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached routing table")
+    p_cache_clear.add_argument("--dir", metavar="DIR",
+                               help="cache directory (default: "
+                                    "REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_cache_clear.set_defaults(func=_cmd_cache)
+
+    p_digest = sub.add_parser(
+        "digest",
+        help="routing-table digest over the announced prefixes "
+             "(serial/parallel equality check)")
+    p_digest.add_argument("--small", action="store_true",
+                          help="use the reduced test-scale world")
+    p_digest.add_argument("--cache-dir", metavar="DIR",
+                          help="persist routing tables under DIR "
+                               "(see also REPRO_CACHE_DIR)")
+    p_digest.set_defaults(func=_cmd_digest)
 
     p_demo = sub.add_parser("demo", help="run a micro-case standalone")
     p_demo.add_argument("case", choices=["fig1", "fig7"])

@@ -44,9 +44,22 @@ from repro.experiments import (
     table5,
     table6,
 )
-from repro.experiments.base import run_instrumented
+from repro.experiments.base import experiment_name, run_instrumented
 from repro.experiments.world import World, get_world
+from repro.explain import provenance
 from repro.obs.manifest import tracing
+from repro.par.obsbuf import (
+    WorkerPayload,
+    finish_capture,
+    merge_payload,
+    start_capture,
+)
+from repro.par.pool import (
+    capture_blocks_parallel,
+    map_deterministic,
+    pool_context,
+    worker_count,
+)
 
 #: (module, description) in paper order.
 ALL_EXPERIMENTS = (
@@ -75,9 +88,113 @@ ALL_EXPERIMENTS = (
     (baselines, "§2.2 baselines comparison (DailyCatch / AnyOpt / ReOpt)"),
 )
 
+#: Short name -> (module, description); the addressing scheme experiment
+#: workers use (modules themselves never cross the process boundary).
+EXPERIMENTS_BY_NAME = {
+    experiment_name(module): (module, description)
+    for module, description in ALL_EXPERIMENTS
+}
+
+_WORKER_WORLD: World | None = None
+
+#: Parent-side staging slot for ``fork`` pools: children inherit the
+#: world copy-on-write instead of unpickling it (see repro.par.routing).
+_FORK_WORLD: World | None = None
+
+
+def _init_experiment_worker(world: World | None) -> None:
+    """Receive the world; runs once per experiment-worker process."""
+    global _WORKER_WORLD
+    obs.install(None)
+    provenance.install(None)
+    if world is None:
+        world = _FORK_WORLD
+    if world is None:
+        raise RuntimeError("experiment worker started without a world")
+    # An experiment worker must never fork its own nested fleet pool,
+    # and a pool inherited across fork would be unusable anyway.
+    world._fleet_pool = None
+    world._fleet_checked = True
+    _WORKER_WORLD = world
+
+
+def _experiment_task(
+    task: tuple[str, bool],
+) -> tuple[object, float, WorkerPayload | None]:
+    """Worker-side: run one experiment, capturing its spans/counters."""
+    name, record = task
+    module, description = EXPERIMENTS_BY_NAME[name]
+    world = _WORKER_WORLD
+    if world is None:
+        raise RuntimeError("experiment worker used before initialization")
+    recorder = start_capture(record)
+    try:
+        result, span_record = run_instrumented(module, description, world)
+    finally:
+        payload = finish_capture(recorder)
+    wall_ms = span_record.wall_ms if span_record is not None else 0.0
+    return result, wall_ms, payload
+
+
+def run_selected_parallel(
+    world: World,
+    selected: list[tuple[object, str]],
+    workers: int | None = None,
+) -> list[tuple[object, float]]:
+    """Run experiments across worker processes; results in input order.
+
+    Each worker gets its own copy of the world, so per-world measurement
+    caches are not shared between experiments the way they are serially —
+    the classic space-for-time trade of process parallelism.  Results
+    and their renders are nevertheless identical to serial runs: every
+    measurement is content-deterministic.
+
+    Returns ``(result, wall_ms)`` pairs; worker span/counter buffers are
+    merged into the live recorder in experiment order.
+    """
+    global _FORK_WORLD
+    if (worker_count(workers) <= 1 or len(selected) <= 1
+            or capture_blocks_parallel()):
+        # Serial fallback in-process: map_deterministic's serial path
+        # would not run the worker initializer.
+        pairs: list[tuple[object, float]] = []
+        for module, description in selected:
+            result, span_record = run_instrumented(module, description, world)
+            pairs.append((
+                result,
+                span_record.wall_ms if span_record is not None else 0.0,
+            ))
+        return pairs
+    record = obs.active() is not None
+    tasks = [(experiment_name(module), record) for module, _ in selected]
+    forked = pool_context().get_start_method() == "fork"
+    initargs: tuple[World | None] = (None,) if forked else (world,)
+    if forked:
+        _FORK_WORLD = world
+    try:
+        outcomes = map_deterministic(
+            _experiment_task,
+            tasks,
+            workers=workers,
+            chunk_size=1,
+            initializer=_init_experiment_worker,
+            initargs=initargs,
+        )
+    finally:
+        _FORK_WORLD = None
+    merged: list[tuple[object, float]] = []
+    for result, wall_ms, payload in outcomes:
+        merge_payload(payload)
+        merged.append((result, wall_ms))
+    return merged
+
 
 def run_all(
-    world: World, stream: TextIO | None = None
+    world: World,
+    stream: TextIO | None = None,
+    *,
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> tuple[list[object], obs.Recorder]:
     """Run every experiment against one world.
 
@@ -86,6 +203,11 @@ def run_all(
     is already installed (``repro run --trace``) it is reused; otherwise
     a private one is created for the duration, so callers can always
     assert on ``recording.root``.
+
+    With ``parallel=True`` and an effective worker count above 1,
+    independent experiments run across worker processes (results stay in
+    paper order and render identically); provenance capture forces the
+    serial path, as selection trails are process-local.
     """
     out = stream or sys.stdout
     recorder = obs.active()
@@ -93,15 +215,34 @@ def run_all(
     if owned:
         recorder = obs.Recorder("experiments")
         obs.install(recorder)
+    use_parallel = (
+        parallel
+        and worker_count(workers) > 1
+        and not capture_blocks_parallel()
+    )
     results: list[object] = []
     try:
         with obs.span("experiments.run_all", experiments=len(ALL_EXPERIMENTS)):
-            for module, description in ALL_EXPERIMENTS:
-                result, record = run_instrumented(module, description, world)
-                results.append(result)
-                print(result.render(), file=out)
-                elapsed_s = record.wall_ms / 1000.0 if record is not None else 0.0
-                print(f"[{description}: {elapsed_s:.2f}s]\n", file=out)
+            if use_parallel:
+                outcomes = run_selected_parallel(
+                    world, list(ALL_EXPERIMENTS), workers=workers
+                )
+                for (module, description), (result, wall_ms) in zip(
+                    ALL_EXPERIMENTS, outcomes
+                ):
+                    results.append(result)
+                    print(result.render(), file=out)
+                    print(f"[{description}: {wall_ms / 1000.0:.2f}s]\n",
+                          file=out)
+            else:
+                for module, description in ALL_EXPERIMENTS:
+                    result, record = run_instrumented(module, description,
+                                                      world)
+                    results.append(result)
+                    print(result.render(), file=out)
+                    elapsed_s = (record.wall_ms / 1000.0
+                                 if record is not None else 0.0)
+                    print(f"[{description}: {elapsed_s:.2f}s]\n", file=out)
     finally:
         if owned:
             obs.uninstall()
@@ -122,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="attribute wall time to functions per span "
                              "path and print the tables after the report")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run independent experiments across worker "
+                             "processes (worker count from REPRO_WORKERS)")
     return parser
 
 
@@ -141,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[world '{cfg.name}' built in {time.perf_counter() - start:.2f}s: "
               f"{world.topology.num_nodes} nodes, {world.topology.num_links} links, "
               f"{len(world.usable_probes)} usable probes, {len(world.groups)} groups]\n")
-        run_all(world)
+        run_all(world, parallel=args.parallel)
         if recorder is not None:
             from repro.obs.health import record_health
 

@@ -1,0 +1,408 @@
+"""Persistent on-disk routing-table cache.
+
+A cold ``repro run`` recomputes the exact Gao-Rexford tables the previous
+run already produced: the in-process cache on
+:class:`repro.routing.engine.RoutingEngine` dies with the process.  This
+module gives routing tables a life across processes.
+
+**Keying.**  A cached table is valid exactly when three things match:
+
+- the *topology content hash* — SHA-256 over the canonical JSON document
+  of :func:`repro.topology.io.dump_topology` (memoized per topology
+  version, so repeated lookups cost a dict probe);
+- the *announcement key* — prefix plus every origin site and its
+  neighbor restriction, in announcement order;
+- the *engine fingerprint* — SHA-256 over the source bytes of the
+  routing engine and route modules, so changing the algorithm silently
+  invalidates every table the old code produced.
+
+**Format.**  Entries are versioned binary blobs: a magic/version header,
+a SHA-256 checksum, then a compact struct encoding of the equal-best
+route sets (node order preserved, so a loaded table is byte-identical to
+the one stored).  Writes go to a temp file in the same directory and
+are published with an atomic :func:`os.replace`; concurrent writers
+(parallel workers warming the same directory) cannot tear an entry.
+
+**Degradation.**  A corrupt, truncated, or foreign file is treated as a
+miss, counted, and deleted; a failing store (read-only dir, disk full)
+is swallowed and counted.  The cache never makes a run fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.routing.engine import RouteChoice, RoutingTable
+from repro.routing.route import Announcement, PrefTier, Route
+from repro.topology.graph import Topology
+from repro.topology.io import dump_topology
+
+#: On-disk entry layout version; bump when the binary format changes.
+FORMAT_VERSION = 1
+
+MAGIC = b"RPRT"
+
+#: File extension of cache entries.
+SUFFIX = ".rtc"
+
+#: Environment variable naming the cache directory (enables the cache).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment flag enabling the cache at its default location.
+CACHE_FLAG_ENV = "REPRO_CACHE"
+
+_HEADER = struct.Struct("<4sH")
+_CHECKSUM_LEN = hashlib.sha256().digest_size
+
+
+class CacheCorruption(ValueError):
+    """A cache entry failed structural or checksum validation."""
+
+
+# ----------------------------------------------------------------------
+# Keying
+# ----------------------------------------------------------------------
+
+_TOPO_HASHES: "weakref.WeakKeyDictionary[Topology, tuple[int, str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def topology_hash(topology: Topology) -> str:
+    """Content hash of a topology, memoized per ``topology.version``."""
+    cached = _TOPO_HASHES.get(topology)
+    if cached is not None and cached[0] == topology.version:
+        return cached[1]
+    document = dump_topology(topology)
+    digest = hashlib.sha256(
+        json.dumps(document, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    _TOPO_HASHES[topology] = (topology.version, digest)
+    return digest
+
+
+_ENGINE_FP: str | None = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of the routing implementation's source bytes.
+
+    A changed algorithm must not serve tables cached by the old one;
+    hashing the module files makes invalidation automatic without a
+    hand-maintained schema number.
+    """
+    global _ENGINE_FP
+    if _ENGINE_FP is None:
+        from repro.routing import engine as engine_mod
+        from repro.routing import route as route_mod
+
+        hasher = hashlib.sha256()
+        for module in (engine_mod, route_mod):
+            source = module.__file__
+            assert source is not None
+            hasher.update(Path(source).read_bytes())
+        _ENGINE_FP = hasher.hexdigest()
+    return _ENGINE_FP
+
+
+def announcement_key(announcement: Announcement) -> str:
+    """Canonical string form of an announcement (order-preserving)."""
+    parts = [str(announcement.prefix)]
+    for origin in announcement.origins:
+        if origin.neighbors is None:
+            parts.append(f"{origin.site_node}:*")
+        else:
+            neighbors = ",".join(str(n) for n in sorted(origin.neighbors))
+            parts.append(f"{origin.site_node}:{neighbors}")
+    return "|".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Binary codec
+# ----------------------------------------------------------------------
+
+def encode_table(table: RoutingTable) -> bytes:
+    """Serialise a routing table to a versioned, checksummed blob.
+
+    The node order of ``table.best`` is preserved, so
+    ``encode_table(decode)`` round-trips byte-identically — the property
+    the serial-vs-parallel digest checks build on.
+    """
+    body = bytearray()
+    key = announcement_key(table.announcement).encode()
+    body += struct.pack("<H", len(key)) + key
+    body += struct.pack("<II", table._num_nodes, len(table.best))
+    for node_id, choice in table.best.items():
+        body += struct.pack("<IH", node_id, len(choice.routes))
+        for route in choice.routes:
+            body += struct.pack("<BB", int(route.tier), len(route.path))
+            body += struct.pack(f"<{len(route.path)}I", *route.path)
+    checksum = hashlib.sha256(bytes(body)).digest()
+    return _HEADER.pack(MAGIC, FORMAT_VERSION) + checksum + bytes(body)
+
+
+def decode_table(
+    blob: bytes, announcement: Announcement, topology_version: int
+) -> RoutingTable:
+    """Rebuild a routing table from :func:`encode_table` output.
+
+    Raises :class:`CacheCorruption` on any structural defect: bad magic,
+    unknown version, checksum mismatch, announcement-key mismatch, or
+    truncated/over-long payloads.
+    """
+    try:
+        return _decode_table(blob, announcement, topology_version)
+    except CacheCorruption:
+        raise
+    except (struct.error, ValueError, IndexError) as exc:
+        raise CacheCorruption(f"undecodable cache entry: {exc}") from exc
+
+
+def _decode_table(
+    blob: bytes, announcement: Announcement, topology_version: int
+) -> RoutingTable:
+    header_len = _HEADER.size + _CHECKSUM_LEN
+    if len(blob) < header_len:
+        raise CacheCorruption("entry shorter than its header")
+    magic, version = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise CacheCorruption(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CacheCorruption(f"unsupported cache format version {version}")
+    checksum = blob[_HEADER.size:header_len]
+    body = blob[header_len:]
+    if hashlib.sha256(body).digest() != checksum:
+        raise CacheCorruption("checksum mismatch")
+    offset = 0
+    (key_len,) = struct.unpack_from("<H", body, offset)
+    offset += 2
+    key = body[offset:offset + key_len].decode()
+    offset += key_len
+    if key != announcement_key(announcement):
+        raise CacheCorruption(
+            f"announcement mismatch: entry holds {key!r}"
+        )
+    num_nodes, num_entries = struct.unpack_from("<II", body, offset)
+    offset += 8
+    prefix = announcement.prefix
+    best: dict[int, RouteChoice] = {}
+    for _ in range(num_entries):
+        node_id, num_routes = struct.unpack_from("<IH", body, offset)
+        offset += 6
+        routes = []
+        for _ in range(num_routes):
+            tier, path_len = struct.unpack_from("<BB", body, offset)
+            offset += 2
+            path = struct.unpack_from(f"<{path_len}I", body, offset)
+            offset += 4 * path_len
+            routes.append(
+                Route(prefix=prefix, origin=path[-1], path=path,
+                      tier=PrefTier(tier))
+            )
+        best[node_id] = RouteChoice(routes=tuple(routes))
+    if offset != len(body):
+        raise CacheCorruption("trailing bytes after the last entry")
+    return RoutingTable(
+        announcement=announcement,
+        best=best,
+        topology_version=topology_version,
+        _num_nodes=num_nodes,
+    )
+
+
+def tables_digest(tables: Iterable[RoutingTable]) -> str:
+    """One hex digest over a sequence of tables, order-sensitive.
+
+    Two runs (serial vs parallel, or two machines warming the same
+    cache) computed the same routing state iff their digests match —
+    the check CI runs between the serial and ``REPRO_WORKERS=4`` legs.
+    """
+    hasher = hashlib.sha256()
+    for table in tables:
+        hasher.update(encode_table(table))
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`RoutingTableCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+    store_errors: int = 0
+
+
+class RoutingTableCache:
+    """Content-addressed store of routing tables under one directory."""
+
+    def __init__(self, directory: "Path | str"):
+        self.directory = Path(directory).expanduser()
+        self.stats = CacheStats()
+
+    # Executors ship engines (and with them this cache) to workers;
+    # only the directory crosses the boundary — stats are per-process.
+    def __getstate__(self) -> dict[str, object]:
+        return {"directory": self.directory}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.directory = Path(str(state["directory"]))
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def key_for(self, topology: Topology, announcement: Announcement) -> str:
+        material = "|".join((
+            str(FORMAT_VERSION),
+            topology_hash(topology),
+            engine_fingerprint(),
+            announcement_key(announcement),
+        ))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, topology: Topology, announcement: Announcement) -> Path:
+        return self.directory / (self.key_for(topology, announcement) + SUFFIX)
+
+    # ------------------------------------------------------------------
+    def load(
+        self, topology: Topology, announcement: Announcement
+    ) -> RoutingTable | None:
+        """The cached table for an announcement, or None.
+
+        Corrupt entries are deleted and counted; they never propagate.
+        """
+        path = self.path_for(topology, announcement)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            table = decode_table(blob, announcement, topology.version)
+        except CacheCorruption:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return table
+
+    def store(
+        self,
+        topology: Topology,
+        announcement: Announcement,
+        table: RoutingTable,
+    ) -> Path | None:
+        """Persist a table atomically; returns the entry path, or None.
+
+        Store failures (read-only directory, disk full) are counted and
+        swallowed: a broken cache degrades to recomputation, never to a
+        failed run.
+        """
+        path = self.path_for(topology, announcement)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(encode_table(table))
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.store_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Every cache entry currently on disk, sorted by name."""
+        try:
+            return sorted(self.directory.glob(f"*{SUFFIX}"))
+        except OSError:
+            return []
+
+    def disk_stats(self) -> tuple[int, int]:
+        """``(entry count, total bytes)`` of the on-disk store."""
+        entries = self.entries()
+        total = 0
+        for entry in entries:
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return len(entries), total
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Process-wide default cache resolution
+# ----------------------------------------------------------------------
+
+_OVERRIDE: RoutingTableCache | None = None
+_OVERRIDE_SET = False
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/repro`` (or ``~/.cache/repro``)."""
+    base = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(base).expanduser() if base else Path("~/.cache").expanduser()
+    return root / "repro"
+
+
+def set_default_cache(cache: RoutingTableCache | None) -> None:
+    """Process-wide override (``--cache-dir``); ``None`` disables caching."""
+    global _OVERRIDE, _OVERRIDE_SET
+    _OVERRIDE = cache
+    _OVERRIDE_SET = True
+
+
+def clear_default_cache() -> None:
+    """Drop any override and return to environment-driven resolution."""
+    global _OVERRIDE, _OVERRIDE_SET
+    _OVERRIDE = None
+    _OVERRIDE_SET = False
+
+
+def resolve_cache() -> RoutingTableCache | None:
+    """The cache new worlds should attach, or None (the default).
+
+    Resolution order: an explicit :func:`set_default_cache` override,
+    then ``REPRO_CACHE_DIR=<dir>``, then ``REPRO_CACHE=1`` at the
+    default location.  With none of these, persistent caching is off and
+    seed behaviour is untouched.
+    """
+    if _OVERRIDE_SET:
+        return _OVERRIDE
+    directory = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if directory:
+        return RoutingTableCache(directory)
+    flag = os.environ.get(CACHE_FLAG_ENV, "").strip().lower()
+    if flag in {"1", "true", "yes", "on"}:
+        return RoutingTableCache(default_cache_dir())
+    return None

@@ -1,0 +1,84 @@
+"""Per-worker observability buffers, merged deterministically.
+
+A worker process cannot write into the parent's live
+:class:`repro.obs.Recorder`, but the spans and counters it produces are
+part of the run's truth: a parallel world build must still show every
+``routing.compute`` span and every ``dns.queries`` increment in
+``repro obs summary``.
+
+The protocol is:
+
+1. The parent decides whether recording is on (``obs.active() is not
+   None``) and ships that flag with each task.
+2. The worker brackets its work with :func:`start_capture` /
+   :func:`finish_capture`, which install a private buffer recorder and
+   lower its result to a plain-dict payload (spans via
+   ``SpanRecord.to_dict``, plus root-level counters and gauges) that
+   crosses the process boundary as ordinary pickled data.
+3. The parent calls :func:`merge_payload` on each returned payload **in
+   task-submission order**, grafting the worker's span subtrees under
+   its currently open span and replaying counter/gauge writes.  Because
+   the merge order is the submission order, the resulting span tree has
+   a deterministic shape — only the recorded durations vary run to run,
+   exactly as they do serially.
+
+When recording is off the whole machinery reduces to passing ``None``
+around, so un-traced parallel runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+
+#: The wire form of one worker capture: ``{"spans": [...], "counters":
+#: {...}, "gauges": {...}}`` with spans as ``SpanRecord.to_dict`` output.
+WorkerPayload = dict[str, Any]
+
+
+def start_capture(enabled: bool = True) -> obs.Recorder | None:
+    """Install a buffer recorder in the current (worker) process.
+
+    Returns ``None`` without touching anything when ``enabled`` is
+    false — the parent had no recorder, so capturing would be wasted
+    work.  The caller must pair this with :func:`finish_capture`.
+    """
+    if not enabled:
+        return None
+    recorder = obs.Recorder("par-worker")
+    obs.install(recorder)
+    return recorder
+
+
+def finish_capture(recorder: obs.Recorder | None) -> WorkerPayload | None:
+    """Uninstall the buffer recorder and lower it to a payload."""
+    if recorder is None:
+        return None
+    obs.uninstall()
+    root = recorder.root
+    return {
+        "spans": [child.to_dict() for child in root.children],
+        "counters": dict(root.counters),
+        "gauges": dict(root.gauges),
+    }
+
+
+def merge_payload(payload: WorkerPayload | None) -> None:
+    """Graft one worker payload into the live recorder.
+
+    Span subtrees are appended as children of the innermost open span;
+    counters and gauges are replayed onto it.  A no-op when the payload
+    is ``None`` or no recorder is installed.  Callers must invoke this
+    in task-submission order to keep the merged tree deterministic.
+    """
+    recorder = obs.active()
+    if payload is None or recorder is None:
+        return
+    parent = recorder.current
+    for span_dict in payload.get("spans", []):
+        parent.children.append(obs.SpanRecord.from_dict(span_dict))
+    for name, amount in payload.get("counters", {}).items():
+        recorder.counter_inc(name, float(amount))
+    for name, value in payload.get("gauges", {}).items():
+        recorder.gauge_set(name, float(value))

@@ -1,0 +1,126 @@
+"""Prefix-parallel routing: fan per-announcement computes to workers.
+
+Each announcement's Gao-Rexford compute is independent of every other —
+the classic embarrassing parallelism of anycast routing analysis (cf.
+"Routing-Aware Partitioning of the Internet Address Space", which shards
+server ranking along exactly this boundary).  :func:`compute_fanout`
+ships the topology once per worker through the pool initializer, runs
+:meth:`repro.routing.engine.RoutingEngine.compute_uncached` for one
+announcement per task, and returns the tables in announcement order.
+
+Workers buffer their ``routing.compute`` spans and counters through
+:mod:`repro.par.obsbuf`; the parent merges them in announcement order,
+so a traced parallel world build shows the same span tree shape as a
+serial one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro import obs
+from repro.explain import provenance
+from repro.par.obsbuf import (
+    WorkerPayload,
+    finish_capture,
+    merge_payload,
+    start_capture,
+)
+from repro.routing.engine import RoutingEngine, RoutingTable
+from repro.routing.route import Announcement
+from repro.topology.graph import Topology
+
+_WORKER_ENGINE: RoutingEngine | None = None
+
+#: Parent-side staging slot for ``fork`` pools: the parent parks the
+#: topology here just before creating the pool, children inherit it
+#: copy-on-write (no pickling), and the parent clears it afterwards.
+#: Spawn-style pools ship the topology through ``initargs`` instead.
+_FORK_TOPOLOGY: Topology | None = None
+
+
+def _init_routing_worker(topology: Topology | None) -> None:
+    """Build this worker's private engine; runs once per worker process.
+
+    ``topology`` is None in forked workers — the staged parent global is
+    used instead (page-shared, never serialised).
+
+    Any recorder inherited across a ``fork`` belongs to the parent —
+    writes to it would be silently lost — so both observability and
+    provenance are explicitly disabled before work arrives; tracing
+    re-enters per task through :func:`repro.par.obsbuf.start_capture`.
+    """
+    global _WORKER_ENGINE
+    obs.install(None)
+    provenance.install(None)
+    if topology is None:
+        topology = _FORK_TOPOLOGY
+    if topology is None:
+        raise RuntimeError("routing worker started without a topology")
+    _WORKER_ENGINE = RoutingEngine(topology)
+
+
+def _compute_task(
+    task: tuple[Announcement, bool],
+) -> tuple[RoutingTable, WorkerPayload | None]:
+    """Worker-side: compute one announcement's table, capturing obs."""
+    announcement, record = task
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise RuntimeError("routing worker used before initialization")
+    recorder = start_capture(record)
+    try:
+        table = engine.compute_uncached(announcement)
+    finally:
+        payload = finish_capture(recorder)
+    return table, payload
+
+
+def compute_fanout(
+    topology: Topology,
+    announcements: Iterable[Announcement],
+    workers: int | None = None,
+) -> list[RoutingTable]:
+    """Compute tables for many announcements across worker processes.
+
+    Results come back in announcement order and each table is
+    byte-identical (under :func:`repro.par.cache.encode_table`) to what
+    a serial ``compute`` would produce: per-announcement computation
+    shares no state between announcements.  Worker span/counter buffers
+    are merged into the live recorder in the same order.
+
+    One task per announcement (``chunk_size=1``): announcement counts
+    are small (tens) and per-compute cost dominates dispatch overhead,
+    so finer chunks just balance better.
+    """
+    from repro.par.pool import map_deterministic, pool_context, worker_count
+
+    global _FORK_TOPOLOGY
+    announcements = list(announcements)
+    if min(worker_count(workers), len(announcements)) <= 1:
+        # Serial fallback in-process: map_deterministic's serial path
+        # would not run the worker initializer.
+        engine = RoutingEngine(topology)
+        return [engine.compute_uncached(a) for a in announcements]
+    record = obs.active() is not None
+    tasks = [(announcement, record) for announcement in announcements]
+    forked = pool_context().get_start_method() == "fork"
+    initargs: tuple[Topology | None] = (None,) if forked else (topology,)
+    if forked:
+        _FORK_TOPOLOGY = topology
+    try:
+        outcomes = map_deterministic(
+            _compute_task,
+            tasks,
+            workers=workers,
+            chunk_size=1,
+            initializer=_init_routing_worker,
+            initargs=initargs,
+        )
+    finally:
+        _FORK_TOPOLOGY = None
+    tables: list[RoutingTable] = []
+    for table, payload in outcomes:
+        merge_payload(payload)
+        tables.append(table)
+    return tables

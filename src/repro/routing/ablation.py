@@ -59,8 +59,9 @@ def compute_shortest_path_table(
                 routes=tuple(list(unique.values())[:max_equal_best])
             )
             frontier.append(v)
-    table = RoutingTable(
-        announcement=announcement, best=best, topology_version=topology.version
+    return RoutingTable(
+        announcement=announcement,
+        best=best,
+        topology_version=topology.version,
+        _num_nodes=topology.num_nodes,
     )
-    table._num_nodes = topology.num_nodes
-    return table

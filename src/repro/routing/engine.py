@@ -33,7 +33,8 @@ single-best-announcement behaviour.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro import obs
 from repro.explain import provenance
@@ -42,6 +43,9 @@ from repro.netaddr.ipv4 import IPv4Prefix
 from repro.routing.route import Announcement, OriginSpec, PrefTier, Route
 from repro.topology.asys import LinkKind
 from repro.topology.graph import Topology
+
+if TYPE_CHECKING:
+    from repro.par.cache import RoutingTableCache
 
 #: Tie-break description recorded on selection trails: how the engine
 #: orders routes *within* one equal-best set (see :meth:`RoutingEngine
@@ -90,6 +94,10 @@ class RoutingTable:
     announcement: Announcement
     best: dict[int, RouteChoice]
     topology_version: int
+    #: Node count of the topology the table was computed over — the
+    #: denominator of :meth:`reachable_fraction`.  Populated by the
+    #: engine and by the persistent-cache loader.
+    _num_nodes: int = field(default=0, repr=False)
 
     @property
     def prefix(self) -> IPv4Prefix:
@@ -120,9 +128,6 @@ class RoutingTable:
             return 0.0
         return len(self.best) / self._num_nodes
 
-    # populated by the engine so reachable_fraction has a denominator
-    _num_nodes: int = 0
-
 
 class RoutingEngine:
     """Computes and caches routing tables over one topology."""
@@ -138,35 +143,141 @@ class RoutingEngine:
         self._exit_km_version = topology.version
         self._cache_hits = 0
         self._cache_misses = 0
+        self._pcache_hits = 0
+        #: Optional on-disk table store (:class:`repro.par.cache
+        #: .RoutingTableCache`), attached by the world builder or CLI.
+        #: None (the default) keeps the engine purely in-memory.
+        self.persistent_cache: "RoutingTableCache | None" = None
 
     @property
     def topology(self) -> Topology:
         return self._topology
 
     def compute(self, announcement: Announcement) -> RoutingTable:
-        """Routing table for an announcement (cached per topology version)."""
+        """Routing table for an announcement (cached per topology version).
+
+        Lookup order: the in-memory cache, then the persistent on-disk
+        cache when one is attached, then a real compute (whose result
+        feeds both caches).  Only the real compute opens a
+        ``routing.compute`` span — a warm run shows none.
+        """
         key = (announcement, self._topology.version)
         table = self._cache.get(key)
-        if table is None:
-            self._cache_misses += 1
-            with obs.span("routing.compute",
-                          prefix=str(announcement.prefix),
-                          origins=len(announcement.origins)):
-                table = self._compute(announcement)
-            self._cache[key] = table
-        else:
+        if table is not None:
             self._cache_hits += 1
             obs.counter.inc("routing.cache_hits")
+            return table
+        table = self._load_persistent(announcement)
+        if table is None:
+            self._cache_misses += 1
+            table = self.compute_uncached(announcement)
+            self._store_persistent(announcement, table)
+        self._cache[key] = table
         return table
 
+    def compute_uncached(self, announcement: Announcement) -> RoutingTable:
+        """One real three-stage compute, bypassing every cache.
+
+        This is the unit of work :func:`repro.par.routing.compute_fanout`
+        runs in worker processes; the caches stay a parent-side concern.
+        """
+        with obs.span("routing.compute",
+                      prefix=str(announcement.prefix),
+                      origins=len(announcement.origins)):
+            return self._compute(announcement)
+
+    def compute_many(
+        self,
+        announcements: Iterable[Announcement],
+        workers: int | None = None,
+    ) -> list[RoutingTable]:
+        """Tables for many announcements, optionally computed in parallel.
+
+        Cache hits (in-memory, then persistent) resolve inline; only the
+        genuinely uncomputed announcements fan out to worker processes —
+        and only when the resolved worker count exceeds 1 and no
+        provenance capture is active (selection trails are recorded into
+        a process-local recorder, so parallel workers would lose them).
+        Results are returned in input order and are byte-identical to
+        serial computes.
+        """
+        announcements = list(announcements)
+        version = self._topology.version
+        resolved: dict[int, RoutingTable] = {}
+        pending: list[int] = []
+        for index, announcement in enumerate(announcements):
+            table = self._cache.get((announcement, version))
+            if table is not None:
+                self._cache_hits += 1
+                obs.counter.inc("routing.cache_hits")
+                resolved[index] = table
+                continue
+            table = self._load_persistent(announcement)
+            if table is not None:
+                self._cache[(announcement, version)] = table
+                resolved[index] = table
+                continue
+            pending.append(index)
+
+        if pending:
+            from repro.par.pool import capture_blocks_parallel, worker_count
+
+            parallel = (
+                worker_count(workers) > 1
+                and len(pending) > 1
+                and not capture_blocks_parallel()
+            )
+            if parallel:
+                from repro.par.routing import compute_fanout
+
+                tables = compute_fanout(
+                    self._topology,
+                    [announcements[i] for i in pending],
+                    workers=workers,
+                )
+            else:
+                tables = [
+                    self.compute_uncached(announcements[i]) for i in pending
+                ]
+            for index, table in zip(pending, tables):
+                announcement = announcements[index]
+                self._cache_misses += 1
+                self._cache[(announcement, version)] = table
+                self._store_persistent(announcement, table)
+                resolved[index] = table
+        return [resolved[i] for i in range(len(announcements))]
+
+    # ------------------------------------------------------------------
+    def _load_persistent(self, announcement: Announcement) -> RoutingTable | None:
+        cache = self.persistent_cache
+        if cache is None:
+            return None
+        table = cache.load(self._topology, announcement)
+        if table is not None:
+            self._pcache_hits += 1
+            obs.counter.inc("routing.pcache_hits")
+        return table
+
+    def _store_persistent(
+        self, announcement: Announcement, table: RoutingTable
+    ) -> None:
+        cache = self.persistent_cache
+        if cache is not None:
+            cache.store(self._topology, announcement, table)
+
     def cache_stats(self) -> tuple[int, int]:
-        """Lifetime ``(hits, misses)`` of the routing-table cache."""
-        return self._cache_hits, self._cache_misses
+        """Lifetime ``(hits, misses)`` of the routing-table caches.
+
+        Persistent-cache hits count as hits: the caller asked for a
+        table and no compute ran.
+        """
+        return self._cache_hits + self._pcache_hits, self._cache_misses
 
     def cache_hit_rate(self) -> float:
-        """Fraction of ``compute`` calls served from the cache (0 when cold)."""
-        total = self._cache_hits + self._cache_misses
-        return self._cache_hits / total if total else 0.0
+        """Fraction of ``compute`` calls served from a cache (0 when cold)."""
+        hits, misses = self.cache_stats()
+        total = hits + misses
+        return hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     def _exit_km(self, node_id: int, neighbor_id: int) -> float:
@@ -270,6 +381,10 @@ class RoutingEngine:
     def _compute(self, announcement: Announcement) -> RoutingTable:
         topo = self._topology
         prefix = announcement.prefix
+        # Hoisted once per compute: the provenance branches below render
+        # the prefix on every rejected offer, which runs inside the
+        # stage loops.
+        prefix_str = str(prefix)
         origin_spec: dict[int, OriginSpec] = {
             spec.site_node: spec for spec in announcement.origins
         }
@@ -294,7 +409,7 @@ class RoutingEngine:
         if prov is not None:
             for site in origin_spec:
                 prov.record_selection(SelectionTrail(
-                    prefix=str(prefix),
+                    prefix=prefix_str,
                     node_id=site,
                     stage="origin",
                     winner_tier="origin",
@@ -322,7 +437,7 @@ class RoutingEngine:
                     for p in topo.providers_of(u):
                         if p in best:
                             if prov is not None:
-                                self._record_reject(prov, str(prefix), p, RouteCandidate(
+                                self._record_reject(prov, prefix_str, p, RouteCandidate(
                                     path=(p,) + route_u.path, tier="customer",
                                     via=u, accepted=False, reason="longer-path"))
                             continue
@@ -369,7 +484,7 @@ class RoutingEngine:
                 for v, kind in topo.peers_of(u):
                     if v in best:
                         if prov is not None:
-                            self._record_reject(prov, str(prefix), v, RouteCandidate(
+                            self._record_reject(prov, prefix_str, v, RouteCandidate(
                                 path=(v,) + route_u.path,
                                 tier=("rs_peer" if kind is LinkKind.PEER_ROUTE_SERVER
                                       else "peer"),
@@ -453,7 +568,7 @@ class RoutingEngine:
                 for c in topo.customers_of(u):
                     if c in best:
                         if prov is not None:
-                            self._record_reject(prov, str(prefix), c, RouteCandidate(
+                            self._record_reject(prov, prefix_str, c, RouteCandidate(
                                 path=(c,) + route_u.path, tier="provider",
                                 via=u, accepted=False, reason="held-better-tier"))
                         continue
@@ -492,7 +607,7 @@ class RoutingEngine:
                         if c in best:
                             if prov is not None:
                                 self._record_reject(
-                                    prov, str(prefix), c, RouteCandidate(
+                                    prov, prefix_str, c, RouteCandidate(
                                         path=(c,) + cand.path, tier="provider",
                                         via=node, accepted=False,
                                         reason="held-better-tier"))
@@ -543,10 +658,10 @@ class RoutingEngine:
             announcement=announcement,
             best=best,
             topology_version=topo.version,
+            _num_nodes=topo.num_nodes,
         )
-        table._num_nodes = topo.num_nodes
         obs.gauge.set("routing.routed_nodes", len(best))
         if prov is not None:
-            prov.emit("routing.table-computed", prefix=str(prefix),
+            prov.emit("routing.table-computed", prefix=prefix_str,
                       routed=len(best), origins=len(origin_spec))
         return table

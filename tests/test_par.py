@@ -1,0 +1,469 @@
+"""Tests for repro.par: deterministic parallelism + the persistent cache.
+
+The package's one contract — parallel execution must be invisible in the
+results — is checked directly: every parallel path is compared against
+its serial twin for byte-level equality, and the on-disk cache is
+round-tripped, corrupted, and invalidated on purpose.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro import obs
+from repro.dnssim.resolver import DnsMode
+from repro.experiments.world import EG3_HOSTNAME
+from repro.netaddr.ipv4 import IPv4Prefix
+from repro.par.cache import (
+    CACHE_DIR_ENV,
+    CACHE_FLAG_ENV,
+    FORMAT_VERSION,
+    MAGIC,
+    CacheCorruption,
+    RoutingTableCache,
+    announcement_key,
+    clear_default_cache,
+    decode_table,
+    default_cache_dir,
+    encode_table,
+    engine_fingerprint,
+    resolve_cache,
+    set_default_cache,
+    tables_digest,
+    topology_hash,
+)
+from repro.par.fleet import FleetPool
+from repro.par.obsbuf import finish_capture, merge_payload, start_capture
+from repro.par.pool import (
+    WORKERS_ENV,
+    capture_blocks_parallel,
+    chunk_ranges,
+    map_deterministic,
+    worker_count,
+)
+from repro.routing.engine import RoutingEngine, RoutingTable
+from repro.routing.route import Announcement, OriginSpec
+from repro.topology.asys import Tier
+
+
+def _square(x):
+    """Module-level so it pickles into worker processes."""
+    return x * x
+
+
+def _stub_announcements(topology, count=3):
+    """One single-origin announcement per stub, distinct prefixes."""
+    stubs = [n.node_id for n in topology.nodes() if n.tier is Tier.STUB]
+    return [
+        Announcement(
+            prefix=IPv4Prefix.parse(f"198.18.{i}.0/24"),
+            origins=(OriginSpec(site_node=stub),),
+        )
+        for i, stub in enumerate(stubs[:count])
+    ]
+
+
+class TestWorkerCount:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert worker_count() == 1
+
+    def test_env_parsed(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert worker_count() == 4
+
+    @pytest.mark.parametrize("raw", ["", "  ", "abc", "0", "-3", "1"])
+    def test_degenerate_values_mean_serial(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV, raw)
+        assert worker_count() == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert worker_count(2) == 2
+        assert worker_count(0) == 1
+
+
+class TestChunkRanges:
+    def test_covers_all_items_in_order(self):
+        ranges = chunk_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for items in range(1, 40):
+            for chunks in range(1, 12):
+                ranges = chunk_ranges(items, chunks)
+                sizes = [hi - lo for lo, hi in ranges]
+                assert sum(sizes) == items
+                assert max(sizes) - min(sizes) <= 1
+                assert ranges[0][0] == 0 and ranges[-1][1] == items
+                for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]):
+                    assert a_hi == b_lo
+
+    def test_more_chunks_than_items_collapses(self):
+        assert chunk_ranges(2, 8) == [(0, 1), (1, 2)]
+
+    def test_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+
+class TestMapDeterministic:
+    def test_serial_path_is_plain_map(self):
+        assert map_deterministic(_square, range(7), workers=1) == [
+            x * x for x in range(7)
+        ]
+
+    def test_parallel_matches_serial_order(self):
+        items = list(range(37))
+        expected = [x * x for x in items]
+        assert map_deterministic(_square, items, workers=2) == expected
+        assert map_deterministic(
+            _square, items, workers=3, chunk_size=5
+        ) == expected
+
+    def test_empty_input(self):
+        assert map_deterministic(_square, [], workers=4) == []
+
+
+class TestCaptureBlocksParallel:
+    def test_plain_recorder_does_not_block(self):
+        recorder = obs.Recorder("plain")
+        obs.install(recorder)
+        try:
+            assert capture_blocks_parallel() is False
+        finally:
+            obs.uninstall()
+
+    def test_profiler_blocks(self):
+        from repro.obs.prof import SpanProfiler
+
+        recorder = obs.Recorder("prof", profiler=SpanProfiler("prof"))
+        obs.install(recorder)
+        try:
+            assert capture_blocks_parallel() is True
+        finally:
+            obs.uninstall()
+
+    def test_provenance_blocks(self):
+        from repro.explain import provenance
+
+        provenance.install(provenance.ProvenanceRecorder())
+        try:
+            assert capture_blocks_parallel() is True
+        finally:
+            provenance.install(None)
+
+
+class TestObsBuffers:
+    def test_disabled_capture_is_free(self):
+        assert start_capture(False) is None
+        assert finish_capture(None) is None
+        merge_payload(None)  # no-op without a recorder either
+
+    def test_capture_and_merge_in_order(self):
+        worker = start_capture(True)
+        try:
+            with obs.span("routing.compute"):
+                pass
+            obs.counter.inc("routing.routes_pushed", 5)
+            obs.gauge.set("routing.routed_nodes", 12)
+        finally:
+            payload = finish_capture(worker)
+        assert [s["name"] for s in payload["spans"]] == ["routing.compute"]
+        parent = obs.Recorder("parent")
+        obs.install(parent)
+        try:
+            with obs.span("world.routing"):
+                merge_payload(payload)
+                merge_payload(payload)
+        finally:
+            obs.uninstall()
+        merged = parent.root.children[0]
+        assert merged.name == "world.routing"
+        assert [c.name for c in merged.children] == [
+            "routing.compute", "routing.compute",
+        ]
+        assert merged.counters["routing.routes_pushed"] == 10
+        assert merged.gauges["routing.routed_nodes"] == 12
+
+
+class TestCodec:
+    def _table(self, tiny_topology):
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        return RoutingEngine(tiny_topology).compute_uncached(ann)
+
+    def test_roundtrip_is_byte_identical(self, tiny_topology):
+        table = self._table(tiny_topology)
+        blob = encode_table(table)
+        decoded = decode_table(blob, table.announcement, table.topology_version)
+        assert decoded.best == table.best
+        assert decoded._num_nodes == table._num_nodes
+        assert decoded.topology_version == table.topology_version
+        assert encode_table(decoded) == blob
+
+    def test_digest_is_order_sensitive(self, tiny_topology):
+        anns = _stub_announcements(tiny_topology, 2)
+        engine = RoutingEngine(tiny_topology)
+        tables = [engine.compute_uncached(a) for a in anns]
+        assert tables_digest(tables) != tables_digest(list(reversed(tables)))
+
+    def test_bad_magic_rejected(self, tiny_topology):
+        table = self._table(tiny_topology)
+        blob = b"XXXX" + encode_table(table)[4:]
+        with pytest.raises(CacheCorruption, match="magic"):
+            decode_table(blob, table.announcement, table.topology_version)
+
+    def test_unknown_version_rejected(self, tiny_topology):
+        table = self._table(tiny_topology)
+        blob = encode_table(table)
+        blob = struct.pack("<4sH", MAGIC, FORMAT_VERSION + 1) + blob[6:]
+        with pytest.raises(CacheCorruption, match="version"):
+            decode_table(blob, table.announcement, table.topology_version)
+
+    def test_bit_flip_fails_checksum(self, tiny_topology):
+        table = self._table(tiny_topology)
+        blob = bytearray(encode_table(table))
+        blob[-1] ^= 0x40
+        with pytest.raises(CacheCorruption, match="checksum"):
+            decode_table(
+                bytes(blob), table.announcement, table.topology_version
+            )
+
+    def test_truncation_rejected(self, tiny_topology):
+        table = self._table(tiny_topology)
+        blob = encode_table(table)
+        with pytest.raises(CacheCorruption):
+            decode_table(blob[:20], table.announcement, table.topology_version)
+        with pytest.raises(CacheCorruption):
+            decode_table(blob[:5], table.announcement, table.topology_version)
+
+    def test_wrong_announcement_rejected(self, tiny_topology):
+        table = self._table(tiny_topology)
+        other = _stub_announcements(tiny_topology, 2)[1]
+        with pytest.raises(CacheCorruption, match="mismatch"):
+            decode_table(encode_table(table), other, table.topology_version)
+
+
+class TestRoutingTableCache:
+    def test_store_load_roundtrip(self, tiny_topology, tmp_path):
+        cache = RoutingTableCache(tmp_path)
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        table = RoutingEngine(tiny_topology).compute_uncached(ann)
+        path = cache.store(tiny_topology, ann, table)
+        assert path is not None and path.exists()
+        loaded = cache.load(tiny_topology, ann)
+        assert loaded is not None
+        assert encode_table(loaded) == encode_table(table)
+        assert cache.stats.stores == 1 and cache.stats.hits == 1
+
+    def test_missing_entry_is_a_miss(self, tiny_topology, tmp_path):
+        cache = RoutingTableCache(tmp_path)
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        assert cache.load(tiny_topology, ann) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_deleted_and_counted(self, tiny_topology, tmp_path):
+        cache = RoutingTableCache(tmp_path)
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        path = cache.path_for(tiny_topology, ann)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a routing table")
+        assert cache.load(tiny_topology, ann) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_clear_and_disk_stats(self, tiny_topology, tmp_path):
+        cache = RoutingTableCache(tmp_path)
+        anns = _stub_announcements(tiny_topology, 2)
+        engine = RoutingEngine(tiny_topology)
+        for ann in anns:
+            cache.store(tiny_topology, ann, engine.compute_uncached(ann))
+        entries, total_bytes = cache.disk_stats()
+        assert entries == 2 and total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.disk_stats() == (0, 0)
+
+    def test_key_distinguishes_announcements(self, tiny_topology):
+        cache = RoutingTableCache("/nonexistent")
+        a, b = _stub_announcements(tiny_topology, 2)
+        assert cache.key_for(tiny_topology, a) != cache.key_for(tiny_topology, b)
+
+    def test_topology_hash_tracks_version(self, tiny_topology):
+        first = topology_hash(tiny_topology)
+        assert topology_hash(tiny_topology) == first  # memoized
+        assert len(first) == 64
+        assert len(engine_fingerprint()) == 64
+
+    def test_announcement_key_encodes_restrictions(self, tiny_topology):
+        stub = _stub_announcements(tiny_topology, 1)[0].origins[0].site_node
+        prefix = IPv4Prefix.parse("198.18.9.0/24")
+        open_ann = Announcement(
+            prefix=prefix, origins=(OriginSpec(site_node=stub),)
+        )
+        closed = Announcement(
+            prefix=prefix,
+            origins=(OriginSpec(site_node=stub, neighbors=frozenset({3, 1})),),
+        )
+        assert announcement_key(open_ann) == f"198.18.9.0/24|{stub}:*"
+        assert announcement_key(closed) == f"198.18.9.0/24|{stub}:1,3"
+
+
+class TestCacheResolution:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.delenv(CACHE_FLAG_ENV, raising=False)
+        clear_default_cache()
+        assert resolve_cache() is None
+
+    def test_env_dir_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        clear_default_cache()
+        cache = resolve_cache()
+        assert cache is not None and cache.directory == tmp_path
+
+    def test_flag_uses_default_location(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv(CACHE_FLAG_ENV, "1")
+        clear_default_cache()
+        cache = resolve_cache()
+        assert cache is not None and cache.directory == default_cache_dir()
+
+    def test_override_beats_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        override = RoutingTableCache(tmp_path / "override")
+        try:
+            set_default_cache(override)
+            assert resolve_cache() is override
+            set_default_cache(None)
+            assert resolve_cache() is None
+        finally:
+            clear_default_cache()
+
+    def test_pickling_ships_directory_only(self, tmp_path):
+        import pickle
+
+        cache = RoutingTableCache(tmp_path)
+        cache.stats.hits = 7
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.directory == cache.directory
+        assert clone.stats.hits == 0
+
+
+class TestEnginePersistentCache:
+    def test_warm_cache_skips_every_compute_span(self, tiny_topology, tmp_path):
+        anns = _stub_announcements(tiny_topology, 3)
+        cold = RoutingEngine(tiny_topology)
+        cold.persistent_cache = RoutingTableCache(tmp_path)
+        cold_tables = cold.compute_many(anns, workers=1)
+        assert cold.persistent_cache.stats.stores == len(anns)
+
+        warm = RoutingEngine(tiny_topology)
+        warm.persistent_cache = RoutingTableCache(tmp_path)
+        recorder = obs.Recorder("warm-run")
+        obs.install(recorder)
+        try:
+            warm_tables = warm.compute_many(anns, workers=1)
+        finally:
+            obs.uninstall()
+        compute_spans = [
+            path for path, _ in recorder.root.walk()
+            if path.endswith("routing.compute")
+        ]
+        assert compute_spans == []
+        assert recorder.root.counters["routing.pcache_hits"] == len(anns)
+        assert tables_digest(warm_tables) == tables_digest(cold_tables)
+        assert warm.cache_stats() == (len(anns), 0)
+
+    def test_compute_prefers_memory_cache(self, tiny_topology, tmp_path):
+        engine = RoutingEngine(tiny_topology)
+        engine.persistent_cache = RoutingTableCache(tmp_path)
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        table = engine.compute(ann)
+        assert engine.compute(ann) is table
+        assert engine.persistent_cache.stats.stores == 1
+        assert engine.cache_hit_rate() == pytest.approx(0.5)
+
+
+class TestParallelEquality:
+    def test_compute_many_digest_matches_serial(self, tiny_topology):
+        anns = _stub_announcements(tiny_topology, 4)
+        serial = RoutingEngine(tiny_topology).compute_many(anns, workers=1)
+        parallel = RoutingEngine(tiny_topology).compute_many(anns, workers=2)
+        assert tables_digest(parallel) == tables_digest(serial)
+
+    def test_small_world_digest_matches_serial(self, small_world):
+        """The CI cross-leg check, in-process: SMALL world announcements
+        computed serially and with two workers give one digest."""
+        anns = small_world.registry.announcements()
+        topology = small_world.topology
+        serial = RoutingEngine(topology).compute_many(anns, workers=1)
+        parallel = RoutingEngine(topology).compute_many(anns, workers=2)
+        assert tables_digest(serial) == tables_digest(parallel)
+        # The world precomputed the same tables during build.
+        built = [small_world.engine.routing.compute(a) for a in anns]
+        assert tables_digest(built) == tables_digest(serial)
+
+    def test_fleet_pool_matches_serial_loops(self, small_world):
+        world = small_world
+        pool = FleetPool(
+            world.engine,
+            world.usable_probes,
+            world.resolvers,
+            {EG3_HOSTNAME: world.eg3_service},
+            workers=2,
+        )
+        try:
+            addr = world.imperva.ns.address
+            serial_pings = {
+                p.probe_id: world.engine.ping(p, addr)
+                for p in world.usable_probes
+            }
+            assert pool.ping_all(addr) == serial_pings
+            serial_traces = {
+                p.probe_id: world.engine.traceroute(p, addr)
+                for p in world.usable_probes
+            }
+            assert pool.trace_all(addr) == serial_traces
+            serial_dns = {
+                p.probe_id: world.resolvers.resolve(
+                    world.eg3_service, p, DnsMode.LDNS
+                )
+                for p in world.usable_probes
+            }
+            assert pool.resolve_all(world.eg3_service, DnsMode.LDNS) == serial_dns
+            # Services not shipped at construction fall back to the caller.
+            assert pool.resolve_all(world.eg4_service, DnsMode.LDNS) is None
+        finally:
+            pool.close()
+
+
+class TestCacheCli:
+    def _warm(self, tiny_topology, directory):
+        cache = RoutingTableCache(directory)
+        ann = _stub_announcements(tiny_topology, 1)[0]
+        cache.store(
+            tiny_topology, ann,
+            RoutingEngine(tiny_topology).compute_uncached(ann),
+        )
+        return cache
+
+    def test_stats_and_clear(self, tiny_topology, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = self._warm(tiny_topology, tmp_path)
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out and "entries: 1" in out
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert cache.entries() == []
+
+    def test_stats_respects_env_dir(self, tiny_topology, tmp_path,
+                                    monkeypatch, capsys):
+        from repro.cli import main
+
+        self._warm(tiny_topology, tmp_path)
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        clear_default_cache()
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 1" in capsys.readouterr().out

@@ -8,7 +8,7 @@ import pytest
 
 from repro.geo.atlas import load_default_atlas
 from repro.netaddr.ipv4 import IPv4Address, IPv4Prefix
-from repro.routing.engine import RouteChoice, RoutingEngine
+from repro.routing.engine import RouteChoice, RoutingEngine, RoutingTable
 from repro.routing.forwarding import trace_forwarding_path
 from repro.routing.route import Announcement, OriginSpec, PrefTier, Route
 from repro.topology.asys import (
@@ -451,3 +451,102 @@ class TestForwarding:
         )
         assert east_path.origin == 8
         assert west_path.origin == 9
+
+
+class TestEqualBestBounds:
+    #: Distinct interconnect cities so every candidate exit has its own
+    #: hot-potato distance from the destination's LHR PoP.
+    CITIES = ["FRA", "AMS", "CDG", "MAD", "JFK", "LAX", "SIN", "NRT",
+              "SYD", "GRU", "JNB", "DXB", "BOM", "HKG", "ICN", "YYZ",
+              "SEA", "ORD", "MIA", "VIE"]
+
+    def _fan(self):
+        """20 equal-length provider paths into one destination node."""
+        net = Net()
+        origin = net.node(1, "FRA", tier=Tier.CDN)
+        dest = net.node(2, "LHR", tier=Tier.STUB)
+        for i, iata in enumerate(self.CITIES):
+            mid = net.node(10 + i, iata)
+            net.transit(origin, mid, iata=iata)
+            net.transit(dest, mid, iata=iata)
+        return net, origin, dest
+
+    def test_overflow_keeps_best_sixteen_rank_ordered(self):
+        net, origin, dest = self._fan()
+        table = net.routes(origin)
+        choice = table.choice_at(dest)
+        assert choice is not None
+        assert len(choice.routes) == RoutingEngine.MAX_EQUAL_BEST
+        # The kept set is ordered by the engine's within-set rank...
+        engine = RoutingEngine(net.topo)
+        ranked = sorted(
+            choice.routes, key=lambda r: engine._rank_key(dest, r)
+        )
+        assert list(choice.routes) == ranked
+        # ...and is exactly the best sixteen of all twenty candidates.
+        kept = {r.next_hop for r in choice.routes}
+        all_mids = sorted(
+            (net.topo.link_between(dest, 10 + i)
+             .interconnects[0].city.location
+             .distance_km(ATLAS.get("LHR").location), 10 + i)
+            for i in range(len(self.CITIES))
+        )
+        expected = {mid for _, mid in all_mids[:RoutingEngine.MAX_EQUAL_BEST]}
+        assert kept == expected
+
+    def test_all_kept_routes_share_tier_and_hops(self):
+        net, origin, dest = self._fan()
+        choice = net.routes(origin).choice_at(dest)
+        assert choice.tier is PrefTier.PROVIDER
+        assert {r.hops for r in choice.routes} == {choice.hops}
+
+
+class TestExitKmCache:
+    def test_invalidated_on_topology_version_bump(self):
+        net = Net()
+        a = net.node(1, "FRA")
+        b = net.node(2, "AMS")
+        net.transit(a, b, iata="AMS")
+        engine = RoutingEngine(net.topo)
+        km = engine._exit_km(1, 2)
+        assert (1, 2) in engine._exit_km_cache
+        before = net.topo.version
+        net.node(3, "LHR")  # any mutation bumps the version
+        assert net.topo.version > before
+        km_again = engine._exit_km(1, 2)
+        assert km_again == pytest.approx(km)
+        # The stale cache was dropped, then repopulated with this entry.
+        assert engine._exit_km_version == net.topo.version
+        assert set(engine._exit_km_cache) == {(1, 2)}
+
+    def test_memoizes_within_one_version(self):
+        net = Net()
+        a = net.node(1, "FRA")
+        b = net.node(2, "AMS")
+        net.transit(a, b, iata="AMS")
+        engine = RoutingEngine(net.topo)
+        assert engine._exit_km(1, 2) == pytest.approx(engine._exit_km(1, 2))
+        assert len(engine._exit_km_cache) == 1
+
+
+class TestRoutingTableNumNodes:
+    def test_defaults_to_unknown(self):
+        ann = Announcement(prefix=PREFIX, origins=(OriginSpec(site_node=1),))
+        table = RoutingTable(announcement=ann, best={}, topology_version=0)
+        assert table.reachable_fraction() == pytest.approx(0.0)
+
+    def test_engine_populates_denominator(self):
+        net = Net()
+        origin = net.node(1, "FRA", tier=Tier.CDN)
+        stub = net.node(2, "LHR", tier=Tier.STUB)
+        net.transit(stub, origin, iata="LHR")
+        table = net.routes(origin)
+        assert table._num_nodes == net.topo.num_nodes
+        assert table.reachable_fraction() == pytest.approx(1.0)
+
+    def test_hidden_from_repr(self):
+        ann = Announcement(prefix=PREFIX, origins=(OriginSpec(site_node=1),))
+        table = RoutingTable(
+            announcement=ann, best={}, topology_version=0, _num_nodes=5
+        )
+        assert "_num_nodes" not in repr(table)
