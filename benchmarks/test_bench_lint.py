@@ -1,0 +1,35 @@
+"""Benchmarks for repro.lint Layer 3: whole-program analysis cost.
+
+The deep-static passes run in CI on every push, so their wall time is a
+budget, not a curiosity: a regression here slows every pipeline run.
+Recording the graph build and the full driver into BENCH_obs.json puts
+analyzer cost in the same trend history as the routing and measurement
+hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import build_project_graph
+from repro.lint.runner import default_target, run_deep_static
+
+
+def test_bench_build_project_graph(benchmark):
+    """Parse + symbol tables + call edges over the shipped package."""
+    target = default_target()
+
+    graph = benchmark(build_project_graph, target, "repro")
+    benchmark.extra_info["modules"] = len(graph.modules)
+    benchmark.extra_info["functions"] = len(graph.functions)
+    benchmark.extra_info["edges"] = sum(
+        len(v) for v in graph.edges.values()
+    )
+    assert "repro.routing.engine.RoutingEngine.compute_uncached" \
+        in graph.functions
+
+
+def test_bench_deep_static_full(benchmark):
+    """The complete ``repro lint --deep-static`` run, baseline included."""
+    report = benchmark(run_deep_static)
+    benchmark.extra_info["modules"] = report.modules
+    benchmark.extra_info["findings"] = len(report.findings)
+    assert report.findings == []

@@ -166,27 +166,66 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     status = 0 if all(o.passed for o in outcomes) else 1
     if getattr(args, "deep", False):
         from repro.lint.invariants import analyze_world, render_invariant_report
+        from repro.lint.runner import run_deep_static
 
         findings = analyze_world(world)
         print()
         print(render_invariant_report(findings))
         if findings:
             status = 1
+        report = run_deep_static()
+        print()
+        print(report.render())
+        if not report.clean:
+            status = 1
     return status
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Layer-1 determinism linter over source trees (default: repro)."""
+    """Static analysis: Layer 1 per-file, Layer 3 whole-program."""
     from pathlib import Path
 
     from repro.lint.findings import RULES
-    from repro.lint.runner import default_target, lint_paths, render_report
+    from repro.lint.runner import (
+        default_target,
+        lint_paths,
+        render_report,
+        run_deep_static,
+    )
 
     if args.list_rules:
         width = max(len(rule_id) for rule_id in RULES)
         for rule_id, spec in sorted(RULES.items()):
             print(f"{rule_id:{width}}  {spec.summary}")
         return 0
+    if args.self_check:
+        from repro.lint.selfcheck import render_self_check, run_self_check
+
+        result = run_self_check()
+        print(render_self_check(result))
+        return 0 if all(result.values()) else 1
+    if args.deep_static:
+        if len(args.paths) > 1:
+            print("--deep-static takes at most one root directory",
+                  file=sys.stderr)
+            return 2
+        root = Path(args.paths[0]) if args.paths else None
+        if root is not None and not root.is_dir():
+            print(f"no such directory: {root}", file=sys.stderr)
+            return 2
+        baseline = Path(args.baseline) if args.baseline else None
+        kwargs = {} if baseline is None else {"baseline": baseline}
+        report = run_deep_static(root, **kwargs)
+        print(report.render())
+        if args.json:
+            import json
+
+            Path(args.json).write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n",
+                encoding="utf-8",
+            )
+            print(f"findings written to {args.json}")
+        return 1 if report.findings else 0
     targets = args.paths or [str(default_target())]
     missing = [t for t in targets if not Path(t).exists()]
     if missing:
@@ -195,6 +234,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     findings = lint_paths(targets)
     print(render_report(findings))
+    if args.json:
+        import json
+
+        document = {
+            "schema": 1,
+            "generated_by": "repro lint",
+            "findings": [f.to_dict() for f in findings],
+        }
+        Path(args.json).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"findings written to {args.json}")
     return 1 if findings else 0
 
 
@@ -386,10 +437,22 @@ def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read manifest {args.run}: {exc}", file=sys.stderr)
         return 2
-    print(render_dashboard(manifest, history_dir=args.history, top=args.top))
+    lint_data = None
+    if args.lint:
+        import json
+
+        try:
+            lint_data = json.loads(
+                Path(args.lint).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read lint findings {args.lint}: {exc}",
+                  file=sys.stderr)
+            return 2
+    print(render_dashboard(manifest, history_dir=args.history, top=args.top,
+                           lint=lint_data))
     if args.html:
         page = render_dashboard_html(manifest, history_dir=args.history,
-                                     top=args.top)
+                                     top=args.top, lint=lint_data)
         out = Path(args.html)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(page, encoding="utf-8")
@@ -614,16 +677,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="use the reduced test-scale world")
     p_verify.add_argument("--deep", action="store_true",
                           help="also run the routing-invariant analyzer "
-                               "(valley-freeness, export rules, catchments)")
+                               "(valley-freeness, export rules, catchments) "
+                               "and the Layer-3 whole-program static passes")
     p_verify.set_defaults(func=_cmd_verify)
 
     p_lint = sub.add_parser(
         "lint", help="static analysis: determinism linter over source trees")
     p_lint.add_argument("paths", nargs="*",
                         help="files or directories to lint "
-                             "(default: the installed repro package)")
+                             "(default: the installed repro package); with "
+                             "--deep-static, at most one package root dir")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list every rule id and exit")
+    p_lint.add_argument("--deep-static", action="store_true",
+                        help="run the Layer-3 whole-program passes "
+                             "(fork-safety, purity, cache-key completeness) "
+                             "instead of the per-file Layer-1 rules")
+    p_lint.add_argument("--json", metavar="FILE",
+                        help="also write findings as JSON to FILE")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="Layer-3 baseline file (default: the committed "
+                             "repro/lint/deep_baseline.json)")
+    p_lint.add_argument("--self-check", action="store_true",
+                        help="prove every Layer-3 rule fires on a seeded "
+                             "synthetic violation, then exit")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_obs = sub.add_parser(
@@ -712,6 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
                                  "to OUT")
     p_obs_dash.add_argument("--top", type=int, default=10, metavar="N",
                             help="rows per table (default 10)")
+    p_obs_dash.add_argument("--lint", default=None, metavar="FILE",
+                            help="render a static-analysis section from a "
+                                 "`repro lint --json` findings file")
     p_obs_dash.set_defaults(func=_cmd_obs_dashboard)
 
     p_explain = sub.add_parser(

@@ -1,0 +1,212 @@
+"""Layer 3 cache-key completeness pass.
+
+The persistent routing-table cache (:mod:`repro.par.cache`) keys entries
+on the topology content hash, an engine *code* fingerprint, and the
+announcement — the claim being: any edit that can change
+``RoutingEngine.compute_uncached``'s output also changes the key.  The
+data inputs are covered by hashing the topology/announcement values
+themselves; the *code* inputs are covered by ``engine_fingerprint()``,
+which hashes the source bytes of the modules listed in
+``FINGERPRINT_MODULES``.
+
+That list is a convention, and this pass checks it: walk the call graph
+from the compute root, collect every project module whose code the
+uncached path can execute, and require each one to be either
+
+- listed in ``FINGERPRINT_MODULES`` (so editing it rotates the key), or
+- *result-neutral* by design (observability, provenance, and the
+  parallel plumbing itself — they observe results, they do not produce
+  them), or
+- the cache module itself (it runs after the result exists).
+
+Anything else is a ``cache-key-gap``: code that can change results
+without invalidating cached tables.  The pass also verifies that
+``key_for`` still folds in every required component
+(``FORMAT_VERSION``, ``topology_hash``, ``engine_fingerprint``,
+``announcement_key``) so deleting a component is caught too, and that
+``FINGERPRINT_MODULES`` names only real project modules.
+
+Known hole, accepted: attribute *reads* (``@property`` bodies) do not
+produce call edges, so a property whose body migrates to a module
+outside the fingerprint set would not be seen.  The default fingerprint
+list is a superset of the conservative closure for exactly this reason
+— over-invalidation is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.callgraph import ProjectGraph
+from repro.lint.findings import RULES, Finding
+
+__all__ = [
+    "CacheKeyConfig",
+    "cache_key_findings",
+]
+
+
+@dataclass
+class CacheKeyConfig:
+    """Pass parameters; defaults target the real ``repro`` tree."""
+
+    #: Module defining the key/fingerprint machinery.
+    cache_module: str = "repro.par.cache"
+    #: Name of the module-level tuple of fingerprinted module names.
+    fingerprint_binding: str = "FINGERPRINT_MODULES"
+    #: Function whose body must reference every required component.
+    key_function: str = "key_for"
+    required_components: tuple[str, ...] = (
+        "FORMAT_VERSION",
+        "topology_hash",
+        "engine_fingerprint",
+        "announcement_key",
+    )
+    #: Roots of the cached compute path.
+    compute_roots: tuple[str, ...] = (
+        "repro.routing.engine.RoutingEngine.compute_uncached",
+    )
+    #: Module prefixes that are result-neutral by design: they may run
+    #: on the compute path but cannot change what it returns.
+    result_neutral_prefixes: tuple[str, ...] = (
+        "repro.obs",
+        "repro.explain",
+        "repro.par",
+    )
+
+
+def _finding(config: CacheKeyConfig, graph: ProjectGraph, line: int,
+             symbol: str, message: str) -> Finding:
+    module = graph.modules.get(config.cache_module)
+    path = (str(module.path) if module is not None
+            else config.cache_module)
+    return Finding(
+        path=path,
+        line=line,
+        rule="cache-key-gap",
+        message=message,
+        hint=RULES["cache-key-gap"].hint,
+        symbol=symbol,
+    )
+
+
+def _fingerprint_modules(
+    config: CacheKeyConfig, graph: ProjectGraph
+) -> tuple[set[str], int] | None:
+    """The statically-declared fingerprint set and its line, or None."""
+    module = graph.modules.get(config.cache_module)
+    if module is None or module.tree is None:
+        return None
+    for node in ast.walk(module.tree):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id == config.fingerprint_binding
+                    and isinstance(value, (ast.Tuple, ast.List))):
+                names = {
+                    elt.value for elt in value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                }
+                return names, node.lineno
+    return None
+
+
+def _key_function_names(
+    config: CacheKeyConfig, graph: ProjectGraph
+) -> tuple[set[str], int] | None:
+    """Every identifier referenced inside ``key_for``, and its line."""
+    for function in graph.functions.values():
+        if (function.module == config.cache_module
+                and function.name == config.key_function):
+            names: set[str] = set()
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+                elif isinstance(node, ast.Attribute):
+                    names.add(node.attr)
+            return names, function.lineno
+    return None
+
+
+def cache_key_findings(
+    graph: ProjectGraph, config: CacheKeyConfig | None = None
+) -> list[Finding]:
+    config = config or CacheKeyConfig()
+    findings: list[Finding] = []
+
+    declared = _fingerprint_modules(config, graph)
+    if declared is None:
+        findings.append(_finding(
+            config, graph, 1, config.fingerprint_binding,
+            f"{config.cache_module} no longer declares "
+            f"{config.fingerprint_binding} as a literal tuple of module "
+            "names; the cache-key pass cannot verify fingerprint "
+            "coverage",
+        ))
+        fingerprinted: set[str] = set()
+        fingerprint_line = 1
+    else:
+        fingerprinted, fingerprint_line = declared
+        for name in sorted(fingerprinted - set(graph.modules)):
+            findings.append(_finding(
+                config, graph, fingerprint_line, name,
+                f"{config.fingerprint_binding} lists {name}, which is "
+                "not a module of this project; the fingerprint silently "
+                "hashes nothing for it",
+            ))
+
+    key_names = _key_function_names(config, graph)
+    if key_names is None:
+        findings.append(_finding(
+            config, graph, 1, config.key_function,
+            f"{config.cache_module}.{config.key_function} not found; the "
+            "cache-key pass cannot verify key composition",
+        ))
+    else:
+        names, key_line = key_names
+        for component in config.required_components:
+            if component not in names:
+                findings.append(_finding(
+                    config, graph, key_line, component,
+                    f"{config.key_function} no longer folds "
+                    f"{component} into the cache key; results can "
+                    "change without invalidating cached entries",
+                ))
+
+    missing_roots = [r for r in config.compute_roots
+                     if r not in graph.functions]
+    for root in missing_roots:
+        findings.append(_finding(
+            config, graph, 1, root,
+            f"compute root {root} not found; update CacheKeyConfig."
+            "compute_roots or the cache-key pass is blind",
+        ))
+
+    closure_modules = graph.reachable_modules(list(config.compute_roots))
+    uncovered = {
+        name for name in closure_modules
+        if name not in fingerprinted
+        and name != config.cache_module
+        and not any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in config.result_neutral_prefixes
+        )
+    }
+    for name in sorted(uncovered):
+        module = graph.modules[name]
+        findings.append(_finding(
+            config, graph, fingerprint_line, name,
+            f"module {name} ({module.path.name}) is reachable from the "
+            "cached compute path but absent from "
+            f"{config.fingerprint_binding}; editing it could change "
+            "results without rotating the cache key",
+        ))
+
+    return sorted(findings)

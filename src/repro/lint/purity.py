@@ -1,0 +1,186 @@
+"""Layer 3 purity pass: global-mutable-state inventory + capture rules.
+
+Every module-level binding in the project is classified **constant**
+(nothing ever rebinds or mutates it) or **mutated** (some function
+writes it via ``global``, mutates it in place, or reassigns it from
+another module).  The inventory itself is data — it feeds the JSON
+findings output and the obs dashboard — but two shapes of mutation are
+findings:
+
+``capture-state-leak``
+    A *capture-state global* is a binding written by its own module's
+    ``install``/``uninstall`` pair — the single-None-check pattern used
+    by :mod:`repro.obs.recorder` and :mod:`repro.explain.provenance` to
+    hold the process-wide capture slot.  Any other writer (a function
+    not named ``install``/``uninstall``/``capturing``/``recording``, or
+    any cross-module write) bypasses the discipline that keeps capture
+    re-entrant and fork-safe.
+``global-mutable-state``
+    Any binding reassigned through a module alias from *outside* its
+    defining module (``other.LIMIT = 5``).  Same-module memo caches are
+    deliberately not flagged here — the fork-safety pass catches the
+    ones that matter (those reachable from worker entrypoints), and
+    flagging every ``_CACHE[key] = value`` would drown the signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.callgraph import ProjectGraph
+from repro.lint.findings import RULES, Finding
+
+__all__ = [
+    "SANCTIONED_CAPTURE_NAMES",
+    "StateInventory",
+    "build_state_inventory",
+    "purity_findings",
+]
+
+#: Function names allowed to write capture-state globals in their own
+#: module.  ``install``/``uninstall`` define the pattern;
+#: ``recording``/``capturing`` are the context-manager conveniences
+#: built directly on it (obs.recording, provenance.capturing).
+SANCTIONED_CAPTURE_NAMES = frozenset({
+    "install", "uninstall", "recording", "capturing",
+})
+
+
+@dataclass(frozen=True)
+class StateInventory:
+    """The project's module-level state, classified."""
+
+    #: ``module.NAME`` -> "constant" | "mutated"
+    classification: dict[str, str]
+    #: ``module.NAME`` -> sorted writer qualnames (cross-module writers
+    #: carry a ``*`` prefix).
+    mutators: dict[str, list[str]]
+    #: Capture-state globals (written by their module's install pair).
+    capture_state: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, object]:
+        mutated = sorted(
+            name for name, kind in self.classification.items()
+            if kind == "mutated"
+        )
+        return {
+            "bindings": len(self.classification),
+            "constant": len(self.classification) - len(mutated),
+            "mutated": [
+                {"name": name, "mutators": self.mutators.get(name, [])}
+                for name in mutated
+            ],
+            "capture_state": list(self.capture_state),
+        }
+
+
+def _capture_state_globals(graph: ProjectGraph) -> dict[str, set[str]]:
+    """``module -> binding names`` written by that module's install pair.
+
+    A module only participates in the pattern when it defines *both*
+    ``install`` and ``uninstall`` at module level.
+    """
+    capture: dict[str, set[str]] = {}
+    for module in graph.modules.values():
+        if not {"install", "uninstall"} <= set(module.local_defs):
+            continue
+        names: set[str] = set()
+        for binding in module.bindings.values():
+            for writer in binding.mutators:
+                writer_name = writer.lstrip("*").rpartition(".")[2]
+                writer_module = graph.module_of(writer.lstrip("*"))
+                if (writer_module == module.name
+                        and writer_name in ("install", "uninstall")):
+                    names.add(binding.name)
+        if names:
+            capture[module.name] = names
+    return capture
+
+
+def build_state_inventory(graph: ProjectGraph) -> StateInventory:
+    classification: dict[str, str] = {}
+    mutators: dict[str, list[str]] = {}
+    for module in graph.modules.values():
+        for binding in module.bindings.values():
+            key = f"{module.name}.{binding.name}"
+            classification[key] = "mutated" if binding.mutated else "constant"
+            if binding.mutators:
+                mutators[key] = list(binding.mutators)
+    capture = _capture_state_globals(graph)
+    capture_state = tuple(sorted(
+        f"{module}.{name}"
+        for module, names in capture.items()
+        for name in names
+    ))
+    return StateInventory(
+        classification=classification,
+        mutators=mutators,
+        capture_state=capture_state,
+    )
+
+
+def purity_findings(
+    graph: ProjectGraph,
+    sanctioned: frozenset[str] = SANCTIONED_CAPTURE_NAMES,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    capture = _capture_state_globals(graph)
+
+    for module_name, names in sorted(capture.items()):
+        module = graph.modules[module_name]
+        for name in sorted(names):
+            binding = module.bindings[name]
+            for writer in binding.mutators:
+                cross_module = writer.startswith("*")
+                qualname = writer.lstrip("*")
+                writer_name = qualname.rpartition(".")[2]
+                writer_module = graph.module_of(qualname)
+                ok = (not cross_module
+                      and writer_module == module_name
+                      and writer_name in sanctioned)
+                if ok:
+                    continue
+                info = graph.functions.get(qualname)
+                line = info.lineno if info else binding.lineno
+                where = (str(graph.modules[info.module].path)
+                         if info else str(module.path))
+                findings.append(Finding(
+                    path=where,
+                    line=line,
+                    rule="capture-state-leak",
+                    message=(
+                        f"capture-state global {module_name}.{name} is "
+                        f"mutated by {qualname}, outside the sanctioned "
+                        f"{'/'.join(sorted(sanctioned))} set"
+                    ),
+                    hint=RULES["capture-state-leak"].hint,
+                    symbol=qualname,
+                ))
+
+    for module in graph.modules.values():
+        for binding in module.bindings.values():
+            for writer in binding.mutators:
+                if not writer.startswith("*"):
+                    continue
+                qualname = writer.lstrip("*")
+                key = f"{module.name}.{binding.name}"
+                if key in {f"{m}.{n}" for m, ns in capture.items()
+                           for n in ns}:
+                    continue  # already reported as capture-state-leak
+                info = graph.functions.get(qualname)
+                line = info.lineno if info else 1
+                where = (str(graph.modules[info.module].path)
+                         if info else str(module.path))
+                findings.append(Finding(
+                    path=where,
+                    line=line,
+                    rule="global-mutable-state",
+                    message=(
+                        f"{qualname} reassigns {key} from outside its "
+                        "defining module"
+                    ),
+                    hint=RULES["global-mutable-state"].hint,
+                    symbol=qualname,
+                ))
+
+    return sorted(findings)

@@ -314,11 +314,62 @@ def render_explain_section(data: dict[str, object]) -> str:
     return "\n\n".join(parts)
 
 
+def render_lint_section(data: dict[str, object]) -> str:
+    """Render a ``repro lint --json`` / ``--deep-static --json`` document.
+
+    Shows per-rule counts and the first findings; a clean document says
+    so explicitly, so a dashboard with the section present proves the
+    analyzer actually ran.
+    """
+    findings = data.get("findings", [])
+    if not isinstance(findings, list):
+        return "malformed lint document (findings is not a list)"
+    summary = data.get("summary")
+    parts: list[str] = []
+    if isinstance(summary, dict):
+        parts.append(
+            f"analyzed {summary.get('modules', '?')} modules / "
+            f"{summary.get('functions', '?')} functions / "
+            f"{summary.get('edges', '?')} call edges in "
+            f"{summary.get('wall_ms', '?')} ms"
+        )
+    if not findings:
+        baselined = data.get("baselined", 0)
+        parts.append(
+            "no findings"
+            + (f" ({baselined} baselined)" if baselined else "")
+        )
+        return "\n".join(parts)
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        if isinstance(finding, dict):
+            by_rule[str(finding.get("rule", "?"))] = (
+                by_rule.get(str(finding.get("rule", "?")), 0) + 1
+            )
+    width = max(len(rule) for rule in by_rule)
+    parts.append("\n".join(
+        f"{rule:{width}}  {count}"
+        for rule, count in sorted(by_rule.items())
+    ))
+    shown = []
+    for finding in findings[:10]:
+        if isinstance(finding, dict):
+            shown.append(
+                f"{finding.get('path', '?')}:{finding.get('line', '?')}: "
+                f"[{finding.get('rule', '?')}] {finding.get('message', '')}"
+            )
+    if len(findings) > 10:
+        shown.append(f"... and {len(findings) - 10} more")
+    parts.append("\n".join(shown))
+    return "\n\n".join(parts)
+
+
 def dashboard_sections(
     manifest: RunManifest,
     *,
     history_dir: Path | str | None = None,
     top: int = 10,
+    lint: dict[str, object] | None = None,
 ) -> list[tuple[str, str]]:
     """The dashboard's ``(title, body)`` sections, in display order."""
     from repro.obs.health import health_gauges, render_health
@@ -358,6 +409,8 @@ def dashboard_sections(
             ("explain: decision provenance",
              render_explain_section(manifest.explain)),
         )
+    if lint is not None:
+        sections.append(("static analysis", render_lint_section(lint)))
     if history_dir is not None:
         from repro.obs.trend import check_history
 
@@ -371,11 +424,12 @@ def render_dashboard(
     *,
     history_dir: Path | str | None = None,
     top: int = 10,
+    lint: dict[str, object] | None = None,
 ) -> str:
     """The combined terminal report for one traced run."""
     parts = []
     for title, body in dashboard_sections(
-        manifest, history_dir=history_dir, top=top
+        manifest, history_dir=history_dir, top=top, lint=lint
     ):
         rule = "-" * max(20, len(title) + 4)
         parts.append(f"-- {title} {rule[len(title) + 4:]}\n{body}")
@@ -401,12 +455,13 @@ def render_dashboard_html(
     *,
     history_dir: Path | str | None = None,
     top: int = 10,
+    lint: dict[str, object] | None = None,
 ) -> str:
     """A self-contained static HTML page with the same sections."""
     title = f"repro run {manifest.run_id}"
     body = [f"<h1>{_html.escape(title)}</h1>"]
     for section_title, text in dashboard_sections(
-        manifest, history_dir=history_dir, top=top
+        manifest, history_dir=history_dir, top=top, lint=lint
     ):
         body.append(f"<section><h2>{_html.escape(section_title)}</h2>")
         body.append(f"<pre>{_html.escape(text)}</pre></section>")

@@ -12,9 +12,10 @@ module gives routing tables a life across processes.
   version, so repeated lookups cost a dict probe);
 - the *announcement key* — prefix plus every origin site and its
   neighbor restriction, in announcement order;
-- the *engine fingerprint* — SHA-256 over the source bytes of the
-  routing engine and route modules, so changing the algorithm silently
-  invalidates every table the old code produced.
+- the *engine fingerprint* — SHA-256 over the source bytes of every
+  module in :data:`FINGERPRINT_MODULES` (the result-relevant closure of
+  the compute path), so changing the algorithm silently invalidates
+  every table the old code produced.
 
 **Format.**  Entries are versioned binary blobs: a magic/version header,
 a SHA-256 checksum, then a compact struct encoding of the equal-best
@@ -31,6 +32,7 @@ is swallowed and counted.  The cache never makes a run fail.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import json
 import os
 import struct
@@ -84,31 +86,45 @@ def topology_hash(topology: Topology) -> str:
     digest = hashlib.sha256(
         json.dumps(document, sort_keys=True, separators=(",", ":")).encode()
     ).hexdigest()
-    _TOPO_HASHES[topology] = (topology.version, digest)
+    _TOPO_HASHES[topology] = (topology.version, digest)  # repro-lint: disable=fork-global-write -- idempotent content-derived memo
     return digest
 
+
+#: Every module whose source can change a cached routing table.  The
+#: deep-static ``cache-key-gap`` rule diffs this literal tuple against
+#: the transitive call closure of ``RoutingEngine.compute_uncached`` and
+#: fails the build when a reachable result-relevant module is missing —
+#: over-invalidation is safe, silent staleness is not.
+FINGERPRINT_MODULES: tuple[str, ...] = (
+    "repro.geo.coords",
+    "repro.geoloc.database",
+    "repro.netaddr.ipv4",
+    "repro.routing.engine",
+    "repro.routing.route",
+    "repro.topology.asys",
+    "repro.topology.graph",
+)
 
 _ENGINE_FP: str | None = None
 
 
 def engine_fingerprint() -> str:
-    """Hash of the routing implementation's source bytes.
+    """Hash of the compute path's source bytes.
 
     A changed algorithm must not serve tables cached by the old one;
-    hashing the module files makes invalidation automatic without a
-    hand-maintained schema number.
+    hashing the :data:`FINGERPRINT_MODULES` files makes invalidation
+    automatic without a hand-maintained schema number.
     """
     global _ENGINE_FP
     if _ENGINE_FP is None:
-        from repro.routing import engine as engine_mod
-        from repro.routing import route as route_mod
-
         hasher = hashlib.sha256()
-        for module in (engine_mod, route_mod):
+        for name in FINGERPRINT_MODULES:
+            module = importlib.import_module(name)
             source = module.__file__
             assert source is not None
+            hasher.update(name.encode() + b"\0")
             hasher.update(Path(source).read_bytes())
-        _ENGINE_FP = hasher.hexdigest()
+        _ENGINE_FP = hasher.hexdigest()  # repro-lint: disable=fork-global-write -- idempotent content-derived memo
     return _ENGINE_FP
 
 

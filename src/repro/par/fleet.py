@@ -170,12 +170,20 @@ class FleetPool:
             self._fork_key = next(_FORK_KEYS)
             _FORK_STATES[self._fork_key] = state
             initargs = (None, self._fork_key)
-        self._executor: Executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_init_fleet_worker,
-            initargs=initargs,
-        )
+        try:
+            self._executor: Executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_fleet_worker,
+                initargs=initargs,
+            )
+        except BaseException:
+            # A failed executor start must not leave the staged state
+            # behind: nothing will ever pop it (close() is unreachable
+            # on a half-built pool), and the leaked engine/probes would
+            # pin a full world in parent memory for the process life.
+            _FORK_STATES.pop(self._fork_key, None)
+            raise
 
     # ------------------------------------------------------------------
     def _run(

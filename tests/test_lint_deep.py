@@ -1,0 +1,805 @@
+"""Layer-3 whole-program analyzer tests.
+
+Fixture packages are synthesised into ``tmp_path`` so every rule is
+exercised against code we control, including the two acceptance-criteria
+scenarios: deleting a cache-key component and adding a global write to a
+worker callee must each flip the corresponding rule from silent to
+firing.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cachekeys import CacheKeyConfig, cache_key_findings
+from repro.lint.callgraph import build_project_graph
+from repro.lint.forksafe import ForkSafetyConfig, fork_safety_findings
+from repro.lint.purity import build_state_inventory, purity_findings
+from repro.lint.runner import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    lint_source,
+    load_baseline,
+    run_deep_static,
+)
+from repro.lint.selfcheck import EXPECTED_RULES, run_self_check
+
+
+def make_package(tmp_path: Path, files: dict[str, str], name: str = "pkg"):
+    """Write a synthetic package and build its graph."""
+    package_dir = tmp_path / name
+    package_dir.mkdir()
+    (package_dir / "__init__.py").write_text("", encoding="utf-8")
+    for rel, content in files.items():
+        target = package_dir / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(content), encoding="utf-8")
+    return build_project_graph(package_dir, name)
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+
+class TestCallGraph:
+    def test_direct_call_edges(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                from pkg.b import helper
+
+                def top():
+                    return helper()
+                """,
+            "b.py": """\
+                def helper():
+                    return 1
+                """,
+        })
+        assert "pkg.b.helper" in graph.edges["pkg.a.top"]
+
+    def test_module_alias_call(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                import pkg.b as bee
+
+                def top():
+                    return bee.helper()
+                """,
+            "b.py": """\
+                def helper():
+                    return 1
+                """,
+        })
+        assert "pkg.b.helper" in graph.edges["pkg.a.top"]
+
+    def test_reexport_chain_resolves(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "sub/__init__.py": "from pkg.sub.impl import helper\n",
+            "sub/impl.py": """\
+                def helper():
+                    return 1
+                """,
+            "a.py": """\
+                from pkg import sub
+
+                def top():
+                    return sub.helper()
+                """,
+        })
+        assert "pkg.sub.impl.helper" in graph.edges["pkg.a.top"]
+
+    def test_self_dispatch_stays_in_class_component(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                class Engine:
+                    def run(self):
+                        return self.step()
+
+                    def step(self):
+                        return 1
+                """,
+            "b.py": """\
+                def step():
+                    return 2
+                """,
+        })
+        callees = graph.edges["pkg.a.Engine.run"]
+        assert "pkg.a.Engine.step" in callees
+        assert "pkg.b.step" not in callees
+
+    def test_self_dispatch_includes_subclass_override(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                class Base:
+                    def run(self):
+                        return self.step()
+
+                    def step(self):
+                        return 0
+                """,
+            "b.py": """\
+                from pkg.a import Base
+
+                class Child(Base):
+                    def step(self):
+                        return 1
+                """,
+        })
+        callees = graph.edges["pkg.a.Base.run"]
+        assert {"pkg.a.Base.step", "pkg.b.Child.step"} <= callees
+
+    def test_unknown_receiver_falls_back_by_name(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                def top(thing):
+                    return thing.compute()
+                """,
+            "b.py": """\
+                class Engine:
+                    def compute(self):
+                        return 1
+                """,
+        })
+        assert "pkg.b.Engine.compute" in graph.edges["pkg.a.top"]
+
+    def test_generic_method_names_excluded(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                def top(mapping):
+                    return mapping.get("x")
+                """,
+            "b.py": """\
+                class Atlas:
+                    def get(self, key):
+                        return key
+                """,
+        })
+        assert "pkg.b.Atlas.get" not in graph.edges["pkg.a.top"]
+
+    def test_callback_argument_produces_edge(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                from pkg.b import worker
+
+                def top(executor):
+                    return executor.submit(worker)
+                """,
+            "b.py": """\
+                def worker():
+                    return 1
+                """,
+        })
+        assert "pkg.b.worker" in graph.edges["pkg.a.top"]
+
+    def test_class_call_edges_to_init(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                from pkg.b import Engine
+
+                def top():
+                    return Engine()
+                """,
+            "b.py": """\
+                class Engine:
+                    def __init__(self):
+                        self.x = 1
+                """,
+        })
+        assert "pkg.b.Engine.__init__" in graph.edges["pkg.a.top"]
+
+    def test_transitive_closure(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "a.py": """\
+                from pkg.b import middle
+
+                def top():
+                    return middle()
+                """,
+            "b.py": """\
+                from pkg.c import leaf
+
+                def middle():
+                    return leaf()
+                """,
+            "c.py": """\
+                def leaf():
+                    return 1
+
+                def unreachable():
+                    return 2
+                """,
+        })
+        closure = graph.transitive_callees(["pkg.a.top"])
+        assert "pkg.c.leaf" in closure
+        assert "pkg.c.unreachable" not in closure
+
+    def test_parse_error_module_is_kept(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "broken.py": "def broken(:\n",
+            "ok.py": "def fine():\n    return 1\n",
+        })
+        assert graph.modules["pkg.broken"].parse_error
+        assert "pkg.ok.fine" in graph.functions
+
+
+# ----------------------------------------------------------------------
+# Fork-safety pass
+# ----------------------------------------------------------------------
+
+_WORKER_FILES = {
+    "par.py": textwrap.dedent("""\
+        import os
+        import random
+        import time
+
+        _COUNT = 0
+        _MEMO: dict[str, int] = {}
+
+
+        def _init_demo_worker(value):
+            global _COUNT
+            _COUNT = value
+
+
+        def _work_chunk(task):
+            return _callee(task)
+
+
+        def _callee(task):
+            return task
+        """),
+}
+
+_WORKER_CONFIG = ForkSafetyConfig(
+    roots=("pkg.par._init_demo_worker", "pkg.par._work_chunk"),
+)
+
+
+class TestForkSafety:
+    def test_clean_worker_has_no_findings(self, tmp_path):
+        graph = make_package(tmp_path, _WORKER_FILES)
+        assert fork_safety_findings(graph, _WORKER_CONFIG) == []
+
+    def test_global_write_in_worker_callee_fires(self, tmp_path):
+        # Acceptance criterion: adding a global write to a worker callee
+        # must flip fork-global-write from silent to firing.
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    global _COUNT\n"
+            "    _COUNT += 1\n"
+            "    return task",
+        )
+        graph = make_package(tmp_path, files)
+        findings = fork_safety_findings(graph, _WORKER_CONFIG)
+        assert "fork-global-write" in rules_of(findings)
+        assert any(f.symbol == "pkg.par._callee" for f in findings)
+
+    def test_container_mutation_fires(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    _MEMO[task] = 1\n"
+            "    return task",
+        )
+        graph = make_package(tmp_path, files)
+        assert "fork-global-write" in rules_of(
+            fork_safety_findings(graph, _WORKER_CONFIG))
+
+    def test_init_worker_allowlisted(self, tmp_path):
+        graph = make_package(tmp_path, _WORKER_FILES)
+        findings = fork_safety_findings(graph, _WORKER_CONFIG)
+        assert not any(
+            f.symbol == "pkg.par._init_demo_worker" for f in findings)
+
+    def test_env_mutation_fires(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    os.environ[\"DEMO\"] = \"1\"\n"
+            "    return task",
+        )
+        graph = make_package(tmp_path, files)
+        assert "fork-env-mutation" in rules_of(
+            fork_safety_findings(graph, _WORKER_CONFIG))
+
+    def test_unseeded_entropy_fires(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    return random.random()",
+        )
+        graph = make_package(tmp_path, files)
+        assert "fork-unseeded-entropy" in rules_of(
+            fork_safety_findings(graph, _WORKER_CONFIG))
+
+    def test_wallclock_fires_but_perf_counter_allowed(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    time.perf_counter()\n"
+            "    return time.time()",
+        )
+        graph = make_package(tmp_path, files)
+        findings = fork_safety_findings(graph, _WORKER_CONFIG)
+        wallclock = [f for f in findings if f.rule == "fork-wallclock"]
+        assert len(wallclock) == 1
+        assert "time.time" in wallclock[0].message
+
+    def test_module_scope_lock_fires(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["par.py"] = "import threading\n_LOCK = threading.Lock()\n" \
+            + files["par.py"]
+        graph = make_package(tmp_path, files)
+        findings = fork_safety_findings(graph, _WORKER_CONFIG)
+        assert "fork-module-resource" in rules_of(findings)
+        assert any(f.symbol == "pkg.par._LOCK" for f in findings)
+
+    def test_effect_outside_closure_ignored(self, tmp_path):
+        files = dict(_WORKER_FILES)
+        files["elsewhere.py"] = (
+            "import time\n\n\ndef untouched():\n    return time.time()\n"
+        )
+        graph = make_package(tmp_path, files)
+        assert fork_safety_findings(graph, _WORKER_CONFIG) == []
+
+    def test_missing_root_is_reported(self, tmp_path):
+        graph = make_package(tmp_path, _WORKER_FILES)
+        config = ForkSafetyConfig(roots=("pkg.par._gone_chunk",))
+        findings = fork_safety_findings(graph, config)
+        assert any(f.symbol == "pkg.par._gone_chunk" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Purity pass
+# ----------------------------------------------------------------------
+
+_CAPTURE_FILES = {
+    "state.py": textwrap.dedent("""\
+        _CURRENT = None
+
+
+        def install(obj):
+            global _CURRENT
+            _CURRENT = obj
+
+
+        def uninstall():
+            global _CURRENT
+            _CURRENT = None
+        """),
+}
+
+
+class TestPurity:
+    def test_sanctioned_pattern_is_clean(self, tmp_path):
+        graph = make_package(tmp_path, _CAPTURE_FILES)
+        assert purity_findings(graph) == []
+
+    def test_unsanctioned_writer_fires(self, tmp_path):
+        files = dict(_CAPTURE_FILES)
+        files["state.py"] += (
+            "\n\ndef hijack(obj):\n"
+            "    global _CURRENT\n"
+            "    _CURRENT = obj\n"
+        )
+        graph = make_package(tmp_path, files)
+        findings = purity_findings(graph)
+        assert rules_of(findings) == {"capture-state-leak"}
+        assert findings[0].symbol == "pkg.state.hijack"
+
+    def test_cross_module_write_fires(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "config.py": "_LIMIT = 10\n",
+            "other.py": """\
+                import pkg.config as config
+
+
+                def poke():
+                    config._LIMIT = 5
+                """,
+        })
+        findings = purity_findings(graph)
+        assert rules_of(findings) == {"global-mutable-state"}
+        assert findings[0].symbol == "pkg.other.poke"
+
+    def test_inventory_classifies_bindings(self, tmp_path):
+        graph = make_package(tmp_path, {
+            "m.py": """\
+                CONSTANT = 7
+                _STATE = None
+
+
+                def set_state(value):
+                    global _STATE
+                    _STATE = value
+                """,
+        })
+        inventory = build_state_inventory(graph)
+        assert inventory.classification["pkg.m.CONSTANT"] == "constant"
+        assert inventory.classification["pkg.m._STATE"] == "mutated"
+        assert inventory.mutators["pkg.m._STATE"] == ["pkg.m.set_state"]
+
+    def test_shipped_capture_state_is_detected(self):
+        report = run_deep_static()
+        assert "repro.obs.recorder._CURRENT" in report.inventory.capture_state
+        assert ("repro.explain.provenance._CURRENT"
+                in report.inventory.capture_state)
+
+
+# ----------------------------------------------------------------------
+# Cache-key pass
+# ----------------------------------------------------------------------
+
+_CACHE_FILES = {
+    "engine.py": """\
+        from pkg.mathmod import rank
+
+
+        class Engine:
+            def compute_uncached(self, task):
+                return rank(task)
+        """,
+    "mathmod.py": """\
+        def rank(task):
+            return task
+        """,
+    "cachemod.py": """\
+        import hashlib
+
+        FORMAT_VERSION = 1
+        FINGERPRINT_MODULES = ("pkg.engine", "pkg.mathmod")
+
+
+        def topology_hash(topology):
+            return "t"
+
+
+        def engine_fingerprint():
+            return "e"
+
+
+        def announcement_key(announcement):
+            return "a"
+
+
+        def key_for(topology, announcement):
+            material = "|".join((
+                str(FORMAT_VERSION),
+                topology_hash(topology),
+                engine_fingerprint(),
+                announcement_key(announcement),
+            ))
+            return hashlib.sha256(material.encode()).hexdigest()
+        """,
+}
+
+_CACHE_CONFIG = CacheKeyConfig(
+    cache_module="pkg.cachemod",
+    compute_roots=("pkg.engine.Engine.compute_uncached",),
+    result_neutral_prefixes=(),
+)
+
+
+class TestCacheKeys:
+    def test_fully_covered_tree_is_clean(self, tmp_path):
+        graph = make_package(tmp_path, _CACHE_FILES)
+        assert cache_key_findings(graph, _CACHE_CONFIG) == []
+
+    def test_removed_key_component_fires(self, tmp_path):
+        # Acceptance criterion: deleting a component from key_for must
+        # flip cache-key-gap from silent to firing.
+        files = dict(_CACHE_FILES)
+        files["cachemod.py"] = files["cachemod.py"].replace(
+            "        engine_fingerprint(),\n", "")
+        graph = make_package(tmp_path, files)
+        findings = cache_key_findings(graph, _CACHE_CONFIG)
+        assert any(f.symbol == "engine_fingerprint" for f in findings)
+
+    def test_unfingerprinted_reachable_module_fires(self, tmp_path):
+        files = dict(_CACHE_FILES)
+        files["cachemod.py"] = files["cachemod.py"].replace(
+            ', "pkg.mathmod"', "")
+        graph = make_package(tmp_path, files)
+        findings = cache_key_findings(graph, _CACHE_CONFIG)
+        assert any(f.symbol == "pkg.mathmod" for f in findings)
+
+    def test_unknown_fingerprint_entry_fires(self, tmp_path):
+        files = dict(_CACHE_FILES)
+        files["cachemod.py"] = files["cachemod.py"].replace(
+            '"pkg.mathmod"', '"pkg.mathmod", "pkg.ghost"')
+        graph = make_package(tmp_path, files)
+        findings = cache_key_findings(graph, _CACHE_CONFIG)
+        assert any(f.symbol == "pkg.ghost" for f in findings)
+
+    def test_missing_fingerprint_binding_fires(self, tmp_path):
+        files = dict(_CACHE_FILES)
+        files["cachemod.py"] = files["cachemod.py"].replace(
+            'FINGERPRINT_MODULES = ("pkg.engine", "pkg.mathmod")\n', "")
+        graph = make_package(tmp_path, files)
+        findings = cache_key_findings(graph, _CACHE_CONFIG)
+        assert any(f.symbol == "FINGERPRINT_MODULES" for f in findings)
+
+    def test_missing_compute_root_fires(self, tmp_path):
+        files = dict(_CACHE_FILES)
+        files["engine.py"] = files["engine.py"].replace(
+            "compute_uncached", "compute_renamed")
+        graph = make_package(tmp_path, files)
+        findings = cache_key_findings(graph, _CACHE_CONFIG)
+        assert any(
+            f.symbol == "pkg.engine.Engine.compute_uncached"
+            for f in findings
+        )
+
+    def test_shipped_fingerprint_covers_real_closure(self):
+        # The committed FINGERPRINT_MODULES must cover the real compute
+        # closure — this is the live end of the acceptance criterion.
+        report = run_deep_static()
+        assert not [
+            f for f in report.findings if f.rule == "cache-key-gap"
+        ]
+
+
+# ----------------------------------------------------------------------
+# Driver: disables, baseline, parse errors
+# ----------------------------------------------------------------------
+
+class TestDeepDriver:
+    def _worker_with_violation(self, disable: str = "") -> dict[str, str]:
+        files = dict(_WORKER_FILES)
+        files["par.py"] = files["par.py"].replace(
+            "def _callee(task):\n    return task",
+            "def _callee(task):\n"
+            "    global _COUNT\n"
+            f"    _COUNT += 1{disable}\n"
+            "    return task",
+        )
+        return files
+
+    def test_violation_reported_without_baseline(self, tmp_path):
+        make_package(tmp_path, self._worker_with_violation())
+        report = run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=None,
+            forksafe_config=_WORKER_CONFIG,
+            cachekey_config=_CACHE_CONFIG,
+        )
+        assert "fork-global-write" in rules_of(report.findings)
+
+    def test_inline_disable_suppresses_deep_finding(self, tmp_path):
+        make_package(tmp_path, self._worker_with_violation(
+            "  # repro-lint: disable=fork-global-write -- test"))
+        report = run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=None,
+            forksafe_config=_WORKER_CONFIG,
+            cachekey_config=_CACHE_CONFIG,
+        )
+        assert "fork-global-write" not in rules_of(report.findings)
+
+    def test_multi_rule_disable_line(self, tmp_path):
+        # One comment naming several rules suppresses each of them on
+        # that line (runner satellite: multi-rule disable lines).
+        source = textwrap.dedent("""\
+            import random
+
+            def f(x=[]):  # repro-lint: disable=mutable-default, unseeded-random -- both
+                x.append(random.random())
+                return x
+        """)
+        findings = lint_source(source)
+        assert not [f for f in findings if f.line == 3]
+        # The rules still fire on lines the comment does not cover.
+        assert any(f.rule == "unseeded-random" and f.line == 4
+                   for f in findings)
+
+    def test_unknown_rule_in_disable_is_reported(self):
+        source = "x = 1  # repro-lint: disable=no-such-rule\n"
+        findings = lint_source(source)
+        assert [f.rule for f in findings] == ["parse-error"]
+        assert "no-such-rule" in findings[0].message
+
+    def test_deep_rule_id_valid_in_disable_comment(self):
+        # Layer-3 ids are registered in RULES, so naming one in a
+        # disable comment is not an unknown-rule error.
+        source = "x = 1  # repro-lint: disable=fork-global-write -- staged\n"
+        assert lint_source(source) == []
+
+    def test_syntax_error_reported_by_deep_driver(self, tmp_path):
+        make_package(tmp_path, {"broken.py": "def broken(:\n"})
+        report = run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=None,
+            forksafe_config=ForkSafetyConfig(roots=(), require_roots=False),
+            cachekey_config=_CACHE_CONFIG,
+        )
+        parse_errors = [f for f in report.findings
+                        if f.rule == "parse-error"]
+        assert [f.symbol for f in parse_errors] == ["pkg.broken"]
+
+    def test_syntax_error_reported_by_layer1(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+class TestBaseline:
+    def _report(self, tmp_path, baseline):
+        files = TestDeepDriver()._worker_with_violation()
+        files.update(_CACHE_FILES)
+        make_package(tmp_path, files)
+        return run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=baseline,
+            forksafe_config=_WORKER_CONFIG,
+            cachekey_config=_CACHE_CONFIG,
+        )
+
+    def _write_baseline(self, tmp_path, entries) -> Path:
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"entries": entries}), encoding="utf-8")
+        return path
+
+    def test_baseline_entry_suppresses_finding(self, tmp_path):
+        baseline = self._write_baseline(tmp_path, [
+            {"rule": "fork-global-write", "symbol": "pkg.par._callee",
+             "reason": "test"},
+        ])
+        report = self._report(tmp_path, baseline)
+        assert report.findings == []
+        assert report.baselined == 1
+
+    def test_stale_entry_becomes_finding(self, tmp_path):
+        baseline = self._write_baseline(tmp_path, [
+            {"rule": "fork-global-write", "symbol": "pkg.par._callee",
+             "reason": "test"},
+            {"rule": "fork-wallclock", "symbol": "pkg.par._gone",
+             "reason": "expired"},
+        ])
+        report = self._report(tmp_path, baseline)
+        stale = [f for f in report.findings if f.rule == "baseline-stale"]
+        assert [f.symbol for f in stale] == ["pkg.par._gone"]
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"entries": [{"rule": "x"}]}),
+                        encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_apply_baseline_counts(self):
+        from repro.lint.findings import Finding
+
+        findings = [
+            Finding(path="a.py", line=3, rule="fork-global-write",
+                    message="m", symbol="pkg.f"),
+        ]
+        kept, baselined = apply_baseline(
+            findings,
+            [{"rule": "fork-global-write", "symbol": "pkg.f",
+              "reason": "r"}],
+            None,
+        )
+        assert kept == []
+        assert baselined == 1
+
+    def test_committed_baseline_loads(self):
+        # The shipped file must always parse; entries may be empty.
+        assert isinstance(load_baseline(DEFAULT_BASELINE), list)
+
+
+# ----------------------------------------------------------------------
+# Self-check, shipped-tree gate, JSON, CLI
+# ----------------------------------------------------------------------
+
+class TestSelfCheck:
+    def test_every_rule_fires(self):
+        result = run_self_check()
+        assert all(result.values()), result
+
+    def test_expected_rules_cover_deep_ids(self):
+        from repro.lint.findings import DEEP_RULE_IDS
+
+        # baseline-stale is driver-level, not a pass rule.
+        assert set(EXPECTED_RULES) == DEEP_RULE_IDS - {"baseline-stale"}
+
+
+class TestShippedTreeGate:
+    def test_deep_static_clean_on_source_tree(self):
+        report = run_deep_static()
+        assert report.findings == [], "\n" + report.render()
+
+    def test_worker_entrypoints_exist(self):
+        from repro.lint.forksafe import WORKER_ENTRYPOINTS
+
+        report = run_deep_static()
+        for root in WORKER_ENTRYPOINTS:
+            assert root in report.graph.functions, root
+
+
+class TestJsonOutput:
+    def test_document_shape(self, tmp_path):
+        make_package(
+            tmp_path,
+            TestDeepDriver()._worker_with_violation(),
+        )
+        report = run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=None,
+            forksafe_config=_WORKER_CONFIG,
+            cachekey_config=_CACHE_CONFIG,
+        )
+        document = report.to_dict()
+        assert document["schema"] == 1
+        assert document["summary"]["findings"] == len(report.findings)
+        finding = document["findings"][0]
+        assert set(finding) == {
+            "path", "line", "rule", "symbol", "message", "hint",
+        }
+        json.dumps(document)  # must be serialisable as-is
+
+    def test_render_lint_section(self, tmp_path):
+        from repro.obs.report import render_lint_section
+
+        make_package(
+            tmp_path,
+            TestDeepDriver()._worker_with_violation(),
+        )
+        report = run_deep_static(
+            tmp_path / "pkg", package="pkg", baseline=None,
+            forksafe_config=_WORKER_CONFIG,
+            cachekey_config=_CACHE_CONFIG,
+        )
+        text = render_lint_section(report.to_dict())
+        assert "fork-global-write" in text
+        clean = render_lint_section({"findings": [], "baselined": 2})
+        assert "no findings" in clean and "2 baselined" in clean
+
+
+class TestCli:
+    def _run(self, *argv):
+        import repro.cli as cli
+
+        return cli.main(list(argv))
+
+    def test_deep_static_clean_exit(self, capsys):
+        assert self._run("lint", "--deep-static") == 0
+        assert "deep-static: 0 findings" in capsys.readouterr().out
+
+    def test_deep_static_json_written(self, tmp_path, capsys):
+        out = tmp_path / "findings.json"
+        assert self._run("lint", "--deep-static", "--json", str(out)) == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["schema"] == 1
+
+    def test_deep_static_bad_root(self, capsys):
+        assert self._run("lint", "--deep-static", "/no/such/dir") == 2
+
+    def test_self_check_exit_zero(self, capsys):
+        assert self._run("lint", "--self-check") == 0
+        assert "self-check passed" in capsys.readouterr().out
+
+    def test_layer1_json_written(self, tmp_path):
+        out = tmp_path / "l1.json"
+        target = tmp_path / "bad.py"
+        target.write_text("import random\nx = random.random()\n",
+                          encoding="utf-8")
+        assert self._run("lint", str(target), "--json", str(out)) == 1
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["findings"][0]["rule"] == "unseeded-random"
+
+    def test_list_rules_includes_deep_ids(self, capsys):
+        assert self._run("lint", "--list-rules") == 0
+        out = capsys.readouterr().out
+        assert "fork-global-write" in out
+        assert "cache-key-gap" in out
