@@ -28,9 +28,16 @@ import pytest
 from repro.experiments.config import SMALL
 from repro.experiments.world import World
 from repro.obs.manifest import current_git_sha, new_run_id
+from repro.par.pool import worker_count
 
 #: Artifact layout version (see docs/observability.md).
 BENCH_SCHEMA = 1
+
+#: Worker count the parallel benchmarks request; stamped into the
+#: artifact (and recorded next to the machine's real core count) so the
+#: crossover analyzer (``repro obs speedup``) can key history by
+#: hardware and worker count.
+BENCH_WORKERS = 4
 
 
 @pytest.fixture(scope="session")
@@ -76,11 +83,39 @@ def bench_artifact_path() -> Path:
     return Path(os.environ.get("REPRO_BENCH_OBS", "BENCH_obs.json"))
 
 
+def merge_bench_artifacts(existing: dict, fresh: dict) -> dict:
+    """Merge a partial bench run into an existing artifact, by key.
+
+    A single-module run (``pytest benchmarks/test_bench_par.py``) must
+    never *shrink* an already-merged ``BENCH_obs.json``: the fresh run's
+    per-key entries win, keys it did not touch survive, and
+    ``total_wall_ms`` is recomputed from the merged benchmarks.  When
+    the existing artifact is from another schema or config it cannot be
+    merged meaningfully and the fresh artifact replaces it wholesale.
+    """
+    if (existing.get("schema") != fresh.get("schema")
+            or existing.get("config") != fresh.get("config")):
+        return fresh
+    merged = dict(fresh)
+    for section in ("benchmarks", "experiments", "counters"):
+        base = existing.get(section)
+        update = fresh.get(section)
+        if isinstance(base, dict) and isinstance(update, dict):
+            merged[section] = {**base, **update}
+    benchmarks = merged.get("benchmarks")
+    if isinstance(benchmarks, dict):
+        merged["total_wall_ms"] = round(
+            sum(float(v) for v in benchmarks.values()), 3
+        )
+    return merged
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write the merged artifact once, after the whole bench session."""
+    """Write (or merge into) the artifact once, after the bench session."""
     collector = getattr(session.config, "_bench_obs", None)
     if not collector or not collector["benchmarks"]:
         return
+    workers = worker_count()
     artifact = {
         "schema": BENCH_SCHEMA,
         # Stamped into the file so re-ingesting the same artifact (a CI
@@ -89,10 +124,23 @@ def pytest_sessionfinish(session, exitstatus):
         "label": "bench",
         "config": SMALL.name,
         "git_sha": current_git_sha(),
+        # Execution environment, so the crossover analyzer can group
+        # comparable runs (see repro.obs.speedup).
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "mode": "parallel" if workers > 1 else "serial",
+        "bench_workers": BENCH_WORKERS,
         "total_wall_ms": round(collector["total_wall_ms"], 3),
         "experiments": collector["experiments"],
         "benchmarks": collector["benchmarks"],
         "counters": collector["counters"],
     }
     out = bench_artifact_path()
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            artifact = merge_bench_artifacts(existing, artifact)
     out.write_text(json.dumps(artifact, indent=2) + "\n", encoding="utf-8")

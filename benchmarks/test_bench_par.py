@@ -11,15 +11,13 @@ from __future__ import annotations
 
 import os
 
+from conftest import BENCH_WORKERS
+
 from repro.experiments.config import SMALL
 from repro.experiments.world import World
 from repro.par.cache import RoutingTableCache, tables_digest
 from repro.par.pool import WORKERS_ENV
 from repro.routing.engine import RoutingEngine
-
-#: Worker count the parallel benchmarks request; recorded alongside the
-#: machine's real core count so trend history stays interpretable.
-BENCH_WORKERS = 4
 
 
 def _mark(benchmark) -> None:

@@ -12,7 +12,9 @@ Commands:
 - ``obs``    — observability: ``summary`` / ``compare`` over the run
   manifests that ``run --trace DIR`` / ``world --trace DIR`` write,
   ``profile`` for span-aware function profiles, ``ingest`` / ``trend``
-  for the append-only benchmark history, and ``dashboard`` for the
+  for the append-only benchmark history, ``timeline`` for per-worker
+  Gantt lanes + parallel overhead attribution, ``speedup`` for the
+  serial-vs-parallel crossover analyzer, and ``dashboard`` for the
   combined per-run report (terminal or ``--html``);
 - ``explain`` — decision provenance: ``client`` (why one probe landed
   where it did, end to end), ``diff`` (attribute every flipped client
@@ -425,6 +427,60 @@ def _cmd_obs_trend(args: argparse.Namespace) -> int:
     return 1 if args.gate and regressions else 0
 
 
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    """Per-worker Gantt timeline + overhead attribution of one run."""
+    from pathlib import Path
+
+    from repro.obs.manifest import load_manifest
+    from repro.obs.timeline import (
+        build_timeline,
+        render_timeline,
+        timeline_to_dict,
+    )
+
+    try:
+        manifest = load_manifest(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.run}: {exc}", file=sys.stderr)
+        return 2
+    timeline = build_timeline(manifest)
+    print(render_timeline(timeline, width=args.width))
+    if args.json:
+        import json
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(timeline_to_dict(timeline), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\ntimeline written to {out}")
+    return 0
+
+
+def _cmd_obs_speedup(args: argparse.Namespace) -> int:
+    """Serial-vs-parallel crossover analysis; --gate fails on regression."""
+    from repro.obs.speedup import groups_from_history, render_pair, render_speedup
+
+    if args.pair:
+        from repro.obs.manifest import load_manifest
+
+        try:
+            serial = load_manifest(args.pair[0])
+            parallel = load_manifest(args.pair[1])
+        except (OSError, ValueError) as exc:
+            print(f"cannot read manifest pair: {exc}", file=sys.stderr)
+            return 2
+        print(render_pair(serial, parallel))
+        return 0
+    groups = groups_from_history(args.history)
+    text, regressions = render_speedup(
+        groups, gate=args.gate, tol_pct=args.tol
+    )
+    print(text)
+    return 1 if args.gate and regressions else 0
+
+
 def _cmd_obs_dashboard(args: argparse.Namespace) -> int:
     """Combined report for one run: spans, profile, health, trends."""
     from pathlib import Path
@@ -706,7 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser(
         "obs",
         help="observability: summary / compare / profile / ingest / "
-             "trend / dashboard")
+             "trend / timeline / speedup / dashboard")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_obs_summary = obs_sub.add_parser(
         "summary", help="where one traced run spent its time")
@@ -778,6 +834,35 @@ def build_parser() -> argparse.ArgumentParser:
                              help="ignore metrics under MS on both sides "
                                   "(default 25)")
     p_obs_trend.set_defaults(func=_cmd_obs_trend)
+    p_obs_timeline = obs_sub.add_parser(
+        "timeline",
+        help="per-worker Gantt timeline and parallel overhead attribution")
+    p_obs_timeline.add_argument("run", help="a run-<id>.json manifest")
+    p_obs_timeline.add_argument("--width", type=int, default=64, metavar="N",
+                                help="Gantt lane width in cells (default 64)")
+    p_obs_timeline.add_argument("--json", default=None, metavar="OUT",
+                                help="additionally write the timeline as "
+                                     "JSON to OUT")
+    p_obs_timeline.set_defaults(func=_cmd_obs_timeline)
+    p_obs_speedup = obs_sub.add_parser(
+        "speedup",
+        help="serial-vs-parallel crossover analysis over the bench history")
+    p_obs_speedup.add_argument("--history", default="obs/history",
+                               metavar="DIR",
+                               help="trend history directory "
+                                    "(default obs/history)")
+    p_obs_speedup.add_argument("--gate", action="store_true",
+                               help="exit non-zero when a group's latest "
+                                    "speedup falls below its history")
+    p_obs_speedup.add_argument("--tol", type=float, default=20.0,
+                               metavar="PCT",
+                               help="gate tolerance below the median "
+                                    "(default 20%%)")
+    p_obs_speedup.add_argument("--pair", nargs=2, default=None,
+                               metavar=("SERIAL", "PARALLEL"),
+                               help="compare two run manifests of the same "
+                                    "workload instead of the history")
+    p_obs_speedup.set_defaults(func=_cmd_obs_speedup)
     p_obs_dash = obs_sub.add_parser(
         "dashboard",
         help="combined report for one run: spans, profile, health, trends")

@@ -119,15 +119,15 @@ def _init_experiment_worker(world: World | None) -> None:
 
 
 def _experiment_task(
-    task: tuple[str, bool],
+    task: tuple[str, bool, int],
 ) -> tuple[object, float, WorkerPayload | None]:
     """Worker-side: run one experiment, capturing its spans/counters."""
-    name, record = task
+    name, record, chunk_index = task
     module, description = EXPERIMENTS_BY_NAME[name]
     world = _WORKER_WORLD
     if world is None:
         raise RuntimeError("experiment worker used before initialization")
-    recorder = start_capture(record)
+    recorder = start_capture(record, chunk_index=chunk_index)
     try:
         result, span_record = run_instrumented(module, description, world)
     finally:
@@ -166,11 +166,15 @@ def run_selected_parallel(
             ))
         return pairs
     record = obs.active() is not None
-    tasks = [(experiment_name(module), record) for module, _ in selected]
-    forked = pool_context().get_start_method() == "fork"
-    initargs: tuple[World | None] = (None,) if forked else (world,)
-    if forked:
-        _FORK_WORLD = world
+    with obs.span("par.stage", items=len(selected)):
+        tasks = [
+            (experiment_name(module), record, index)
+            for index, (module, _) in enumerate(selected)
+        ]
+        forked = pool_context().get_start_method() == "fork"
+        initargs: tuple[World | None] = (None,) if forked else (world,)
+        if forked:
+            _FORK_WORLD = world
     try:
         outcomes = map_deterministic(
             _experiment_task,
@@ -183,9 +187,10 @@ def run_selected_parallel(
     finally:
         _FORK_WORLD = None
     merged: list[tuple[object, float]] = []
-    for result, wall_ms, payload in outcomes:
-        merge_payload(payload)
-        merged.append((result, wall_ms))
+    with obs.span("par.merge", payloads=len(outcomes)):
+        for result, wall_ms, payload in outcomes:
+            merge_payload(payload)
+            merged.append((result, wall_ms))
     return merged
 
 

@@ -392,6 +392,14 @@ def dashboard_sections(
          _hotspot_table(manifest, top)),
         ("span tree", render_span_tree(manifest.root)),
     ]
+    from repro.obs.timeline import build_timeline, render_timeline
+
+    timeline = build_timeline(manifest)
+    if timeline.regions:
+        sections.append(
+            ("parallel timeline & overhead attribution",
+             render_timeline(timeline)),
+        )
     if manifest.profile is not None:
         sections.append(
             ("profiler: hot functions by span path",

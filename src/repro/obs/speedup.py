@@ -1,0 +1,364 @@
+"""Serial-vs-parallel crossover analysis over the benchmark history.
+
+ROADMAP Open item 1 states the uncomfortable fact this module makes
+mechanical: on the SMALL world, ``repro.par`` *loses* to serial.  The
+bench suite records serial/parallel pairs (``bench.<name>_serial`` /
+``bench.<name>_parallel`` series in the :mod:`repro.obs.trend` history,
+keyed by ``cpu_count`` / ``bench_workers`` through the record's ``env``),
+and this analyzer turns those pairs into:
+
+* observed **speedup** (serial wall / parallel wall) per metric, per
+  worker count, per host CPU count — median over the history, so one
+  noisy run does not flip the verdict;
+* **parallel efficiency** (speedup / workers), the number that exposes
+  "4 workers for 0.5x" as the 8x waste it is;
+* a ``REPRO_WORKERS`` **recommendation** per config and metric —
+  including "use serial" whenever the best observed speedup stays under
+  :data:`CROSSOVER_MARGIN`;
+* an optional **gate** (``repro obs speedup --gate``): once a group has
+  at least :data:`MIN_GATE_HISTORY` prior points, a latest speedup
+  falling more than ``tol_pct`` below the prior median fails the run.
+
+``--pair serial.json parallel.json`` compares two run manifests of the
+same workload directly, for one-off experiments outside the bench suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+from repro.obs.manifest import RunManifest
+from repro.obs.trend import TrendRecord, load_history, record_from_manifest
+
+#: Parallel must beat serial by this factor before it is recommended;
+#: under it the dispatch overhead is buying nothing but complexity.
+CROSSOVER_MARGIN = 1.05
+
+#: Prior points a group needs before the gate stops being advisory.
+MIN_GATE_HISTORY = 3
+
+_SERIAL_SUFFIX = "_serial"
+_PARALLEL_SUFFIX = "_parallel"
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One run's serial/parallel wall-time pair for one metric."""
+
+    run_id: str
+    git_sha: str | None
+    serial_ms: float
+    parallel_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall / parallel wall; >1 means parallel wins."""
+        if self.parallel_ms <= 0.0:
+            return 0.0
+        return self.serial_ms / self.parallel_ms
+
+
+@dataclass
+class SpeedupGroup:
+    """Every comparable observation of one metric's crossover."""
+
+    config: str | None
+    metric: str
+    workers: int
+    cpu_count: int
+    points: list[SpeedupPoint]
+
+    @property
+    def latest(self) -> SpeedupPoint:
+        return self.points[-1]
+
+    @property
+    def median_speedup(self) -> float:
+        return median(p.speedup for p in self.points)
+
+    @property
+    def efficiency(self) -> float:
+        """Median speedup divided by worker count (1.0 = perfect scaling)."""
+        if self.workers <= 0:
+            return 0.0
+        return self.median_speedup / self.workers
+
+    @property
+    def parallel_wins(self) -> bool:
+        return self.median_speedup >= CROSSOVER_MARGIN
+
+    def key(self) -> tuple[str, str, int, int]:
+        return (self.config or "-", self.metric, self.workers, self.cpu_count)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The worker count one (config, metric) should run with."""
+
+    config: str | None
+    metric: str
+    use_serial: bool
+    workers: int
+    speedup: float
+    efficiency: float
+
+    def render(self) -> str:
+        where = f"{self.config or '-'}/{self.metric}"
+        if self.use_serial:
+            return (
+                f"{where}: use serial — best observed speedup "
+                f"{self.speedup:.2f}x at {self.workers} workers "
+                f"(efficiency {self.efficiency:.2f}, crossover needs "
+                f">={CROSSOVER_MARGIN:.2f}x)"
+            )
+        return (
+            f"{where}: REPRO_WORKERS={self.workers} "
+            f"({self.speedup:.2f}x, efficiency {self.efficiency:.2f})"
+        )
+
+
+@dataclass(frozen=True)
+class EfficiencyRegression:
+    """The latest speedup fell below its own history."""
+
+    group_key: tuple[str, str, int, int]
+    latest: float
+    baseline: float
+    window: int
+
+    def render(self) -> str:
+        config, metric, workers, _cpu = self.group_key
+        return (
+            f"{config}/{metric} @ {workers} workers: latest speedup "
+            f"{self.latest:.2f}x vs median {self.baseline:.2f}x over "
+            f"{self.window} prior run(s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _pairs_in(record: TrendRecord) -> dict[str, tuple[float, float]]:
+    """``metric -> (serial_ms, parallel_ms)`` pairs in one record."""
+    pairs: dict[str, tuple[float, float]] = {}
+    for name, serial_ms in record.series.items():
+        if not name.endswith(_SERIAL_SUFFIX):
+            continue
+        base = name[: -len(_SERIAL_SUFFIX)]
+        parallel_ms = record.series.get(base + _PARALLEL_SUFFIX)
+        if parallel_ms is None or parallel_ms <= 0.0 or serial_ms <= 0.0:
+            continue
+        pairs[base] = (serial_ms, parallel_ms)
+    return pairs
+
+
+def _env_int(record: TrendRecord, key: str) -> int:
+    value = record.env.get(key, 0)
+    try:
+        return int(value)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        return 0
+
+
+def extract_groups(records: list[TrendRecord]) -> list[SpeedupGroup]:
+    """Group serial/parallel pairs by (config, metric, workers, cpus).
+
+    ``records`` must be oldest-first (the order the history store
+    yields); each group's points preserve it so "latest" is well
+    defined.
+    """
+    grouped: dict[tuple[str, str, int, int], SpeedupGroup] = {}
+    for record in records:
+        workers = (_env_int(record, "bench_workers")
+                   or _env_int(record, "workers"))
+        cpu_count = _env_int(record, "cpu_count")
+        for metric, (serial_ms, parallel_ms) in _pairs_in(record).items():
+            group = SpeedupGroup(
+                config=record.config,
+                metric=metric,
+                workers=workers,
+                cpu_count=cpu_count,
+                points=[],
+            )
+            group = grouped.setdefault(group.key(), group)
+            group.points.append(SpeedupPoint(
+                run_id=record.run_id,
+                git_sha=record.git_sha,
+                serial_ms=serial_ms,
+                parallel_ms=parallel_ms,
+            ))
+    return [grouped[key] for key in sorted(grouped)]
+
+
+def groups_from_history(history_dir: Path | str) -> list[SpeedupGroup]:
+    """Extract speedup groups from every label in a trend history."""
+    records = [
+        record
+        for label_records in load_history(history_dir).values()
+        for record in label_records
+    ]
+    records.sort(key=lambda r: r.run_id)
+    return extract_groups(records)
+
+
+def recommend(groups: list[SpeedupGroup]) -> list[Recommendation]:
+    """Per (config, metric): the best worker count, or "use serial"."""
+    by_target: dict[tuple[str, str], list[SpeedupGroup]] = {}
+    for group in groups:
+        if not group.points:
+            continue
+        by_target.setdefault((group.config or "-", group.metric),
+                             []).append(group)
+    recommendations = []
+    for (config, metric) in sorted(by_target):
+        candidates = by_target[(config, metric)]
+        best = max(candidates, key=lambda g: g.median_speedup)
+        recommendations.append(Recommendation(
+            config=None if config == "-" else config,
+            metric=metric,
+            use_serial=not best.parallel_wins,
+            workers=best.workers,
+            speedup=best.median_speedup,
+            efficiency=best.efficiency,
+        ))
+    return recommendations
+
+
+# ----------------------------------------------------------------------
+# Gate
+# ----------------------------------------------------------------------
+def gate_speedups(
+    groups: list[SpeedupGroup],
+    *,
+    tol_pct: float = 20.0,
+    min_history: int = MIN_GATE_HISTORY,
+) -> tuple[list[EfficiencyRegression], list[str]]:
+    """``(regressions, advisories)`` for the latest point of each group.
+
+    A group with fewer than ``min_history`` prior points yields an
+    advisory line instead of a verdict, so a young history warns rather
+    than fails — the behaviour CI runs this with.
+    """
+    regressions: list[EfficiencyRegression] = []
+    advisories: list[str] = []
+    for group in groups:
+        prior = group.points[:-1]
+        if len(prior) < min_history:
+            advisories.append(
+                f"{group.config or '-'}/{group.metric} @ "
+                f"{group.workers} workers: {len(prior)} prior point(s), "
+                f"need {min_history} before the gate arms"
+            )
+            continue
+        baseline = median(p.speedup for p in prior)
+        latest = group.latest.speedup
+        if latest < baseline * (1.0 - tol_pct / 100.0):
+            regressions.append(EfficiencyRegression(
+                group_key=group.key(),
+                latest=latest,
+                baseline=baseline,
+                window=len(prior),
+            ))
+    return regressions, advisories
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_speedup(
+    groups: list[SpeedupGroup],
+    *,
+    gate: bool = False,
+    tol_pct: float = 20.0,
+) -> tuple[str, list[EfficiencyRegression]]:
+    """The analyzer report, plus gate regressions (empty unless asked)."""
+    if not groups:
+        return (
+            "no serial/parallel pairs in the history: run the bench "
+            "suite (pytest benchmarks/) and `repro obs ingest` the "
+            "BENCH artifact first",
+            [],
+        )
+    lines = ["parallel speedup (serial wall / parallel wall):"]
+    for group in groups:
+        latest = group.latest
+        cpu = f"{group.cpu_count} cpu(s)" if group.cpu_count else "cpu ?"
+        lines.append(
+            f"  {group.config or '-'}/{group.metric}  "
+            f"[{group.workers} workers, {cpu}, n={len(group.points)}]"
+        )
+        lines.append(
+            f"    serial {latest.serial_ms:9.1f} ms   parallel "
+            f"{latest.parallel_ms:9.1f} ms   speedup "
+            f"{latest.speedup:5.2f}x (median {group.median_speedup:.2f}x, "
+            f"efficiency {group.efficiency:.2f})"
+        )
+    lines.append("")
+    lines.append("recommendations:")
+    lines.extend(f"  {rec.render()}" for rec in recommend(groups))
+    regressions: list[EfficiencyRegression] = []
+    if gate:
+        regressions, advisories = gate_speedups(groups, tol_pct=tol_pct)
+        lines.append("")
+        if regressions:
+            lines.append(
+                f"EFFICIENCY REGRESSION: {len(regressions)} group(s) fell "
+                f"more than {tol_pct:g}% below their history:"
+            )
+            lines.extend(f"  {reg.render()}" for reg in regressions)
+        elif advisories:
+            lines.append("gate advisory (history still too short):")
+            lines.extend(f"  {line}" for line in advisories)
+        else:
+            lines.append(
+                f"ok: no group fell more than {tol_pct:g}% below its "
+                "historical median speedup"
+            )
+    return "\n".join(lines), regressions
+
+
+def render_pair(serial: RunManifest, parallel: RunManifest) -> str:
+    """Compare one serial and one parallel manifest of the same workload."""
+    lines = [
+        f"serial    {serial.run_id}  "
+        f"({serial.config_name or '-'}, {serial.root.wall_ms / 1000.0:.2f}s)",
+        f"parallel  {parallel.run_id}  "
+        f"({parallel.config_name or '-'}, "
+        f"{parallel.root.wall_ms / 1000.0:.2f}s)",
+    ]
+    if parallel.root.wall_ms > 0.0:
+        total = serial.root.wall_ms / parallel.root.wall_ms
+        verdict = ("parallel wins" if total >= CROSSOVER_MARGIN
+                   else "serial wins")
+        lines.append(f"total     {total:.2f}x speedup — {verdict}")
+    serial_series = record_from_manifest(serial).series
+    parallel_series = record_from_manifest(parallel).series
+    shared = sorted(
+        name for name in serial_series
+        if name in parallel_series and not name.startswith("par.")
+    )
+    if shared:
+        width = max(len(name) for name in shared)
+        lines += [
+            "",
+            f"  {'span':{width}}  {'serial ms':>10}  {'parallel ms':>12}  "
+            f"{'speedup':>8}",
+        ]
+        for name in shared:
+            s_ms = serial_series[name]
+            p_ms = parallel_series[name]
+            ratio = f"{s_ms / p_ms:7.2f}x" if p_ms > 0.0 else "       -"
+            lines.append(
+                f"  {name:{width}}  {s_ms:10.1f}  {p_ms:12.1f}  {ratio}"
+            )
+    par_overhead = sum(
+        ms for name, ms in parallel_series.items() if name.startswith("par.")
+    )
+    if par_overhead > 0.0:
+        lines.append(
+            f"\n  parallel phase overhead (par.* spans): "
+            f"{par_overhead:.1f} ms — see `repro obs timeline`"
+        )
+    return "\n".join(lines)

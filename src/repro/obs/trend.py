@@ -37,7 +37,8 @@ DEFAULT_HISTORY_DIR = Path("obs/history")
 TREND_SCHEMA = 1
 
 #: Span names whose wall time is worth tracking across runs, by prefix.
-_SERIES_PREFIXES = ("experiment.", "world.", "routing.", "experiments.")
+_SERIES_PREFIXES = ("experiment.", "world.", "routing.", "experiments.",
+                    "par.")
 
 #: 1 / Phi^-1(3/4): scales a MAD to a normal-consistent sigma.
 _MAD_SIGMA = 1.4826
@@ -57,9 +58,13 @@ class TrendRecord:
     total_wall_ms: float
     #: metric name -> wall ms; keys are stable span names or bench ids.
     series: dict[str, float] = field(default_factory=dict)
+    #: Execution environment of the run (``cpu_count``, ``workers``,
+    #: ``mode``, ``bench_workers``); keys the crossover analyzer
+    #: (:mod:`repro.obs.speedup`) uses to group comparable runs.
+    env: dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
-        return {
+        data: dict[str, object] = {
             "schema": TREND_SCHEMA,
             "run_id": self.run_id,
             "label": self.label,
@@ -69,12 +74,16 @@ class TrendRecord:
             "total_wall_ms": round(self.total_wall_ms, 3),
             "series": {k: round(v, 3) for k, v in sorted(self.series.items())},
         }
+        if self.env:
+            data["env"] = dict(sorted(self.env.items()))
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "TrendRecord":
         series = data.get("series", {})
         if not isinstance(series, dict):
             raise ValueError("trend record 'series' must be a mapping")
+        env = data.get("env", {})
         return cls(
             run_id=str(data.get("run_id", "")),
             label=str(data.get("label", "run")),
@@ -85,6 +94,7 @@ class TrendRecord:
                      else str(data.get("git_sha"))),
             total_wall_ms=float(data.get("total_wall_ms", 0.0)),  # type: ignore[arg-type]
             series={str(k): float(v) for k, v in series.items()},
+            env=dict(env) if isinstance(env, dict) else {},
         )
 
 
@@ -128,6 +138,11 @@ def record_from_bench(data: dict[str, object]) -> TrendRecord:
             series[f"bench.{name}"] = float(wall_ms)  # type: ignore[arg-type]
     config = data.get("config")
     git_sha = data.get("git_sha")
+    env = {
+        key: data[key]
+        for key in ("cpu_count", "workers", "mode", "bench_workers")
+        if key in data
+    }
     return TrendRecord(
         run_id=str(data.get("run_id") or new_run_id()),
         label=str(data.get("label", "bench")),
@@ -136,6 +151,7 @@ def record_from_bench(data: dict[str, object]) -> TrendRecord:
         git_sha=None if git_sha is None else str(git_sha),
         total_wall_ms=float(data.get("total_wall_ms", 0.0)),  # type: ignore[arg-type]
         series=series,
+        env=env,
     )
 
 

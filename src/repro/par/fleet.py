@@ -99,11 +99,11 @@ def _worker_engine() -> MeasurementEngine:
 
 
 def _ping_chunk(
-    task: tuple[int, int, IPv4Address, object, bool],
+    task: tuple[int, int, IPv4Address, object, bool, int],
 ) -> tuple[list[PingResult], WorkerPayload | None]:
-    lo, hi, addr, salt, record = task
+    lo, hi, addr, salt, record, chunk_index = task
     engine = _worker_engine()
-    recorder = start_capture(record)
+    recorder = start_capture(record, chunk_index=chunk_index)
     try:
         results = [engine.ping(p, addr, salt=salt) for p in _PROBES[lo:hi]]
     finally:
@@ -112,11 +112,11 @@ def _ping_chunk(
 
 
 def _trace_chunk(
-    task: tuple[int, int, IPv4Address, bool],
+    task: tuple[int, int, IPv4Address, bool, int],
 ) -> tuple[list[TracerouteResult], WorkerPayload | None]:
-    lo, hi, addr, record = task
+    lo, hi, addr, record, chunk_index = task
     engine = _worker_engine()
-    recorder = start_capture(record)
+    recorder = start_capture(record, chunk_index=chunk_index)
     try:
         results = [engine.traceroute(p, addr) for p in _PROBES[lo:hi]]
     finally:
@@ -125,14 +125,14 @@ def _trace_chunk(
 
 
 def _resolve_chunk(
-    task: tuple[int, int, str, DnsMode, bool],
+    task: tuple[int, int, str, DnsMode, bool, int],
 ) -> tuple[list[IPv4Address], WorkerPayload | None]:
-    lo, hi, hostname, mode, record = task
+    lo, hi, hostname, mode, record, chunk_index = task
     resolvers = _RESOLVERS
     if resolvers is None:
         raise RuntimeError("fleet worker used before initialization")
     service = _SERVICES[hostname]
-    recorder = start_capture(record)
+    recorder = start_capture(record, chunk_index=chunk_index)
     try:
         results = [
             resolvers.resolve(service, p, mode) for p in _PROBES[lo:hi]
@@ -156,27 +156,29 @@ class FleetPool:
         # Assign every probe's resolver profile in the parent before the
         # pool starts, so workers inherit a fully warmed pool and counter
         # totals stay identical to a serial run (see module docstring).
-        for probe in probes:
-            resolvers.profile_for(probe)
-        self._probes = probes
-        self._hostnames = frozenset(services)
-        self._workers = workers
-        self._num_chunks = workers * CHUNKS_PER_WORKER
-        state: FleetState = (engine, probes, resolvers, services)
-        context = pool_context()
-        self._fork_key = 0
-        initargs: tuple[FleetState | None, int] = (state, 0)
-        if context.get_start_method() == "fork":
-            self._fork_key = next(_FORK_KEYS)
-            _FORK_STATES[self._fork_key] = state
-            initargs = (None, self._fork_key)
+        with obs.span("par.stage", probes=len(probes)):
+            for probe in probes:
+                resolvers.profile_for(probe)
+            self._probes = probes
+            self._hostnames = frozenset(services)
+            self._workers = workers
+            self._num_chunks = workers * CHUNKS_PER_WORKER
+            state: FleetState = (engine, probes, resolvers, services)
+            context = pool_context()
+            self._fork_key = 0
+            initargs: tuple[FleetState | None, int] = (state, 0)
+            if context.get_start_method() == "fork":
+                self._fork_key = next(_FORK_KEYS)
+                _FORK_STATES[self._fork_key] = state
+                initargs = (None, self._fork_key)
         try:
-            self._executor: Executor = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_init_fleet_worker,
-                initargs=initargs,
-            )
+            with obs.span("par.fork", workers=workers):
+                self._executor: Executor = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_fleet_worker,
+                    initargs=initargs,
+                )
         except BaseException:
             # A failed executor start must not leave the staged state
             # behind: nothing will ever pop it (close() is unreachable
@@ -192,10 +194,13 @@ class FleetPool:
         tasks: list[Any],
     ) -> dict[int, Any]:
         """Ordered fan-out: run chunk tasks, merge obs, key by probe id."""
+        with obs.span("par.dispatch", tasks=len(tasks), workers=self._workers):
+            outcomes = list(self._executor.map(fn, tasks))
         flat: list[Any] = []
-        for chunk_results, payload in self._executor.map(fn, tasks):
-            merge_payload(payload)
-            flat.extend(chunk_results)
+        with obs.span("par.merge", payloads=len(outcomes)):
+            for chunk_results, payload in outcomes:
+                merge_payload(payload)
+                flat.extend(chunk_results)
         return {
             probe.probe_id: result
             for probe, result in zip(self._probes, flat)
@@ -209,12 +214,18 @@ class FleetPool:
         self, addr: IPv4Address, salt: object = None
     ) -> dict[int, PingResult]:
         record = obs.active() is not None
-        tasks = [(lo, hi, addr, salt, record) for lo, hi in self._ranges()]
+        tasks = [
+            (lo, hi, addr, salt, record, index)
+            for index, (lo, hi) in enumerate(self._ranges())
+        ]
         return self._run(_ping_chunk, tasks)
 
     def trace_all(self, addr: IPv4Address) -> dict[int, TracerouteResult]:
         record = obs.active() is not None
-        tasks = [(lo, hi, addr, record) for lo, hi in self._ranges()]
+        tasks = [
+            (lo, hi, addr, record, index)
+            for index, (lo, hi) in enumerate(self._ranges())
+        ]
         return self._run(_trace_chunk, tasks)
 
     def resolve_all(
@@ -230,8 +241,8 @@ class FleetPool:
             return None
         record = obs.active() is not None
         tasks = [
-            (lo, hi, service.hostname, mode, record)
-            for lo, hi in self._ranges()
+            (lo, hi, service.hostname, mode, record, index)
+            for index, (lo, hi) in enumerate(self._ranges())
         ]
         return self._run(_resolve_chunk, tasks)
 

@@ -29,6 +29,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable
 
+from repro import obs
+
 #: Environment variable holding the worker count (serial when absent).
 WORKERS_ENV = "REPRO_WORKERS"
 
@@ -135,6 +137,12 @@ def map_deterministic(
     ``fn`` must be picklable (a module-level function).  ``initializer``
     and ``initargs`` ship per-worker state once — use them for anything
     heavy (a topology, an engine) instead of closing over it.
+
+    When a recorder is live, ``par.fork`` brackets executor creation and
+    ``par.dispatch`` brackets the submit-and-drain window.  Workers are
+    forked lazily on first submit, so the real fork+init cost lands
+    inside the dispatch window and is attributed by
+    :mod:`repro.obs.timeline` as dispatch residual.
     """
     items = list(items)
     n = min(worker_count(workers), len(items))
@@ -143,13 +151,21 @@ def map_deterministic(
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(items) / (n * CHUNKS_PER_WORKER)))
     chunks = [items[i:i + chunk_size] for i in range(0, len(items), chunk_size)]
+    pool_workers = min(n, len(chunks))
     results: list[Any] = []
-    with ProcessPoolExecutor(
-        max_workers=min(n, len(chunks)),
-        mp_context=pool_context(),
-        initializer=initializer,
-        initargs=initargs,
-    ) as executor:
-        for chunk_result in executor.map(_apply_chunk, [(fn, c) for c in chunks]):
-            results.extend(chunk_result)
+    with obs.span("par.fork", workers=pool_workers, chunks=len(chunks)):
+        executor = ProcessPoolExecutor(
+            max_workers=pool_workers,
+            mp_context=pool_context(),
+            initializer=initializer,
+            initargs=initargs,
+        )
+    try:
+        with obs.span("par.dispatch", tasks=len(chunks), workers=pool_workers):
+            for chunk_result in executor.map(
+                _apply_chunk, [(fn, c) for c in chunks]
+            ):
+                results.extend(chunk_result)
+    finally:
+        executor.shutdown()
     return results

@@ -10,8 +10,10 @@ announcement per task, and returns the tables in announcement order.
 
 Workers buffer their ``routing.compute`` spans and counters through
 :mod:`repro.par.obsbuf`; the parent merges them in announcement order,
-so a traced parallel world build shows the same span tree shape as a
-serial one.
+each wrapped in a ``par.chunk`` span tagged with the worker pid, chunk
+index, and timeline offsets, and brackets the pool lifecycle with
+``par.stage`` / ``par.fork`` / ``par.dispatch`` / ``par.merge`` phase
+spans so :mod:`repro.obs.timeline` can attribute parallel overhead.
 """
 
 from __future__ import annotations
@@ -61,14 +63,14 @@ def _init_routing_worker(topology: Topology | None) -> None:
 
 
 def _compute_task(
-    task: tuple[Announcement, bool],
+    task: tuple[Announcement, bool, int],
 ) -> tuple[RoutingTable, WorkerPayload | None]:
     """Worker-side: compute one announcement's table, capturing obs."""
-    announcement, record = task
+    announcement, record, chunk_index = task
     engine = _WORKER_ENGINE
     if engine is None:
         raise RuntimeError("routing worker used before initialization")
-    recorder = start_capture(record)
+    recorder = start_capture(record, chunk_index=chunk_index)
     try:
         table = engine.compute_uncached(announcement)
     finally:
@@ -103,11 +105,15 @@ def compute_fanout(
         engine = RoutingEngine(topology)
         return [engine.compute_uncached(a) for a in announcements]
     record = obs.active() is not None
-    tasks = [(announcement, record) for announcement in announcements]
-    forked = pool_context().get_start_method() == "fork"
-    initargs: tuple[Topology | None] = (None,) if forked else (topology,)
-    if forked:
-        _FORK_TOPOLOGY = topology
+    with obs.span("par.stage", items=len(announcements)):
+        tasks = [
+            (announcement, record, index)
+            for index, announcement in enumerate(announcements)
+        ]
+        forked = pool_context().get_start_method() == "fork"
+        initargs: tuple[Topology | None] = (None,) if forked else (topology,)
+        if forked:
+            _FORK_TOPOLOGY = topology
     try:
         outcomes = map_deterministic(
             _compute_task,
@@ -120,7 +126,8 @@ def compute_fanout(
     finally:
         _FORK_TOPOLOGY = None
     tables: list[RoutingTable] = []
-    for table, payload in outcomes:
-        merge_payload(payload)
-        tables.append(table)
+    with obs.span("par.merge", payloads=len(outcomes)):
+        for table, payload in outcomes:
+            merge_payload(payload)
+            tables.append(table)
     return tables

@@ -354,6 +354,105 @@ class TestObsSpanLiteral:
         ) == []
 
 
+class TestObsWorkerSpanLiteral:
+    """Stricter span-name rule inside par worker entrypoints."""
+
+    def test_dynamic_span_in_worker_fires_both_rules(self):
+        assert fired(
+            """\
+            from repro import obs
+            from repro.par import obsbuf
+
+            def _work_chunk(task):
+                obsbuf.start_capture(True, chunk_index=task[1])
+                with obs.span(f"work.{task[0]}"):
+                    return task
+            """
+        ) == [
+            ("obs-span-literal", 6),
+            ("obs-worker-span-literal", 6),
+        ]
+
+    def test_direct_start_capture_import_fires(self):
+        assert fired(
+            """\
+            from repro import obs
+            from repro.par.obsbuf import start_capture
+
+            def _work_chunk(task):
+                start_capture(True)
+                with obs.span("bad name!"):
+                    return task
+            """
+        ) == [
+            ("obs-span-literal", 6),
+            ("obs-worker-span-literal", 6),
+        ]
+
+    def test_literal_span_in_worker_is_clean(self):
+        assert fired(
+            """\
+            from repro import obs
+            from repro.par import obsbuf
+
+            def _work_chunk(task):
+                obsbuf.start_capture(True)
+                with obs.span("routing.compute", key=task):
+                    return task
+            """
+        ) == []
+
+    def test_dynamic_span_outside_worker_fires_base_rule_only(self):
+        assert fired(
+            """\
+            from repro import obs
+            from repro.par import obsbuf
+
+            def _work_chunk(task):
+                obsbuf.start_capture(True)
+                return task
+
+            def elsewhere(name):
+                with obs.span(f"free.{name}"):
+                    pass
+            """
+        ) == [("obs-span-literal", 9)]
+
+    def test_nested_function_inside_worker_fires(self):
+        assert fired(
+            """\
+            from repro import obs
+            from repro.par import obsbuf
+
+            def _work_chunk(task):
+                obsbuf.start_capture(True)
+                def inner(name):
+                    with obs.span("x" + name):
+                        pass
+                return inner(task)
+            """
+        ) == [
+            ("obs-span-literal", 7),
+            ("obs-worker-span-literal", 7),
+        ]
+
+    def test_unrelated_start_capture_is_ignored(self):
+        assert fired(
+            """\
+            from repro import obs
+
+            class Cam:
+                def start_capture(self):
+                    pass
+
+            def shoot(cam, name):
+                cam.start_capture()
+                with obs.span(f"photo.{name}"):
+                    pass
+            """
+        ) == [("obs-span-literal", 9)]
+
+
 class TestExplainEventLiteral:
     def test_literal_event_name_is_clean(self):
         assert fired(

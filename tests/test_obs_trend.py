@@ -121,6 +121,54 @@ class TestHistoryStore:
             load_label_history(path)
 
 
+class TestEnvMetadata:
+    """The execution-environment dict feeding the crossover analyzer."""
+
+    def test_env_round_trips_through_history(self, tmp_path):
+        record = _record(0, 100.0)
+        record.env.update(
+            {"cpu_count": 8, "workers": 1, "mode": "serial",
+             "bench_workers": 4}
+        )
+        append_record(tmp_path, record)
+        [loaded] = load_history(tmp_path)["run"]
+        assert loaded.env == {
+            "cpu_count": 8, "workers": 1, "mode": "serial",
+            "bench_workers": 4,
+        }
+
+    def test_empty_env_is_not_serialised(self):
+        assert "env" not in _record(0, 100.0).to_dict()
+
+    def test_non_dict_env_tolerated_on_load(self):
+        data = _record(0, 100.0).to_dict()
+        data["env"] = "garbage"
+        assert TrendRecord.from_dict(data).env == {}
+
+    def test_record_from_bench_extracts_env(self):
+        record = record_from_bench({
+            "label": "bench",
+            "total_wall_ms": 12.0,
+            "benchmarks": {"test_x": 12.0},
+            "cpu_count": 8,
+            "workers": 1,
+            "mode": "serial",
+            "bench_workers": 4,
+        })
+        assert record.env == {
+            "cpu_count": 8, "workers": 1, "mode": "serial",
+            "bench_workers": 4,
+        }
+
+    def test_par_series_prefix_tracked_from_manifests(self):
+        obs.uninstall()
+        with obs.recording("runner") as rec:
+            with obs.span("par.dispatch"):
+                pass
+        record = record_from_manifest(from_recorder(rec))
+        assert "par.dispatch" in record.series
+
+
 class TestIdempotentIngest:
     """Re-ingesting the same run id must not double-count it."""
 

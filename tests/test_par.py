@@ -52,6 +52,13 @@ def _square(x):
     return x * x
 
 
+def _explode(x):
+    """Module-level crasher: raises on one input, squares the rest."""
+    if x == 3:
+        raise ValueError("boom")
+    return x * x
+
+
 def _stub_announcements(topology, count=3):
     """One single-origin announcement per stub, distinct prefixes."""
     stubs = [n.node_id for n in topology.nodes() if n.tier is Tier.STUB]
@@ -161,7 +168,7 @@ class TestObsBuffers:
         merge_payload(None)  # no-op without a recorder either
 
     def test_capture_and_merge_in_order(self):
-        worker = start_capture(True)
+        worker = start_capture(True, chunk_index=3)
         try:
             with obs.span("routing.compute"):
                 pass
@@ -170,6 +177,10 @@ class TestObsBuffers:
         finally:
             payload = finish_capture(worker)
         assert [s["name"] for s in payload["spans"]] == ["routing.compute"]
+        meta = payload["meta"]
+        assert meta["pid"] == os.getpid()
+        assert meta["chunk_index"] == 3
+        assert meta["t1_s"] >= meta["t0_s"]
         parent = obs.Recorder("parent")
         obs.install(parent)
         try:
@@ -180,11 +191,119 @@ class TestObsBuffers:
             obs.uninstall()
         merged = parent.root.children[0]
         assert merged.name == "world.routing"
-        assert [c.name for c in merged.children] == [
-            "routing.compute", "routing.compute",
-        ]
-        assert merged.counters["routing.routes_pushed"] == 10
-        assert merged.gauges["routing.routed_nodes"] == 12
+        # Each payload becomes one par.chunk wrapper carrying the worker
+        # provenance; the worker's spans are the wrapper's children and
+        # its counters/gauges land on the wrapper (subtree totals match
+        # replaying them on the parent).
+        assert [c.name for c in merged.children] == ["par.chunk", "par.chunk"]
+        for chunk in merged.children:
+            assert chunk.attrs["worker_pid"] == os.getpid()
+            assert chunk.attrs["chunk_index"] == 3
+            assert chunk.attrs["t1_ms"] >= chunk.attrs["t0_ms"]
+            assert [c.name for c in chunk.children] == ["routing.compute"]
+            assert chunk.children[0].attrs["worker_pid"] == os.getpid()
+            assert chunk.children[0].attrs["chunk_index"] == 3
+            assert chunk.counters["routing.routes_pushed"] == 5
+            assert chunk.gauges["routing.routed_nodes"] == 12
+        assert merged.subtree_counters()["routing.routes_pushed"] == 10
+
+    def test_zero_span_worker_still_merges_a_chunk(self):
+        """A worker that opened no spans still gets its wrapper span."""
+        worker = start_capture(True, chunk_index=0)
+        payload = finish_capture(worker)
+        assert payload["spans"] == []
+        assert payload["counters"] == {}
+        parent = obs.Recorder("parent")
+        obs.install(parent)
+        try:
+            with obs.span("world.routing"):
+                merge_payload(payload)
+        finally:
+            obs.uninstall()
+        merged = parent.root.children[0]
+        assert [c.name for c in merged.children] == ["par.chunk"]
+        chunk = merged.children[0]
+        assert chunk.children == []
+        assert chunk.counters == {}
+        assert chunk.attrs["chunk_index"] == 0
+        assert chunk.attrs["t1_ms"] >= chunk.attrs["t0_ms"]
+
+    def test_worker_crash_mid_chunk_merges_deterministically(self):
+        """A capture that dies mid-span still pairs cleanly.
+
+        The worker-side try/finally produces a payload whose open span
+        is finished with error status, the buffer recorder is
+        uninstalled, and the parent can merge the surviving payload
+        next to a ``None`` from a chunk that never reported.
+        """
+        worker = start_capture(True, chunk_index=1)
+        payload = None
+        with pytest.raises(ValueError):
+            try:
+                with obs.span("routing.compute"):
+                    raise ValueError("boom")
+            finally:
+                payload = finish_capture(worker)
+        assert obs.active() is None
+        assert [s["name"] for s in payload["spans"]] == ["routing.compute"]
+        assert payload["spans"][0]["status"] == "error"
+
+        parent = obs.Recorder("parent")
+        obs.install(parent)
+        try:
+            with obs.span("world.routing"):
+                merge_payload(payload)
+                merge_payload(None)  # chunk whose worker died silently
+        finally:
+            obs.uninstall()
+        merged = parent.root.children[0]
+        assert [c.name for c in merged.children] == ["par.chunk"]
+        chunk = merged.children[0]
+        assert chunk.children[0].status == "error"
+        assert chunk.attrs["chunk_index"] == 1
+
+    def test_pool_crash_propagates_and_parent_recorder_survives(self):
+        """A crashing task aborts the fan-out but not the recording."""
+        recorder = obs.Recorder("parent")
+        obs.install(recorder)
+        try:
+            with pytest.raises(ValueError):
+                with obs.span("world.routing"):
+                    map_deterministic(_explode, [1, 2, 3, 4], workers=2)
+            with obs.span("after.crash"):
+                pass
+        finally:
+            obs.uninstall()
+        names = [c.name for c in recorder.root.children]
+        assert names == ["world.routing", "after.crash"]
+        region = recorder.root.children[0]
+        assert region.status == "error"
+        # The phase spans opened before the crash closed with the region.
+        assert {c.name for c in region.children} <= {"par.fork", "par.dispatch"}
+
+    def test_duplicate_counter_names_sum_across_workers(self):
+        """Same counter incremented in two workers: subtree totals add."""
+        payloads = []
+        for index in range(2):
+            worker = start_capture(True, chunk_index=index)
+            try:
+                obs.counter.inc("dns.queries", 3)
+                obs.gauge.set("dns.cache_size", 7 + index)
+            finally:
+                payloads.append(finish_capture(worker))
+        parent = obs.Recorder("parent")
+        obs.install(parent)
+        try:
+            with obs.span("world.dns"):
+                for payload in payloads:
+                    merge_payload(payload)
+        finally:
+            obs.uninstall()
+        merged = parent.root.children[0]
+        assert merged.subtree_counters()["dns.queries"] == 6
+        # Each wrapper keeps its own worker's contribution.
+        assert [c.counters["dns.queries"] for c in merged.children] == [3, 3]
+        assert [c.gauges["dns.cache_size"] for c in merged.children] == [7, 8]
 
 
 class TestCodec:
