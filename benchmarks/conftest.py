@@ -55,7 +55,9 @@ def bench_obs(request) -> dict:
 
     Keys: ``benchmarks`` (test name -> wall ms, filled automatically),
     ``experiments`` (experiment name -> wall/cpu ms, filled by the
-    experiment-suite bench), ``counters``, ``total_wall_ms``.  The
+    experiment-suite bench), ``counters``, ``memory`` (structure-size
+    census, filled by the memory bench; ingested as ``mem.*`` series),
+    ``total_wall_ms``.  The
     collector is stashed on the pytest config so
     :func:`pytest_sessionfinish` can write it after teardown.
     """
@@ -63,6 +65,7 @@ def bench_obs(request) -> dict:
         "benchmarks": {},
         "experiments": {},
         "counters": {},
+        "memory": {},
         "total_wall_ms": 0.0,
     }
     request.config._bench_obs = collector
@@ -90,14 +93,24 @@ def merge_bench_artifacts(existing: dict, fresh: dict) -> dict:
     never *shrink* an already-merged ``BENCH_obs.json``: the fresh run's
     per-key entries win, keys it did not touch survive, and
     ``total_wall_ms`` is recomputed from the merged benchmarks.  When
-    the existing artifact is from another schema or config it cannot be
-    merged meaningfully and the fresh artifact replaces it wholesale.
+    the existing artifact is from another schema it cannot be read and
+    the fresh artifact replaces it wholesale.  When only the *config*
+    differs the artifacts are incomparable too — but a partial run must
+    not quietly demote a fuller artifact, so the fresh one only takes
+    over when it covers at least as many benchmark keys; otherwise the
+    existing artifact is kept unchanged.
     """
-    if (existing.get("schema") != fresh.get("schema")
-            or existing.get("config") != fresh.get("config")):
+    if existing.get("schema") != fresh.get("schema"):
+        return fresh
+    if existing.get("config") != fresh.get("config"):
+        old_keys = existing.get("benchmarks")
+        new_keys = fresh.get("benchmarks")
+        if (isinstance(old_keys, dict) and isinstance(new_keys, dict)
+                and len(new_keys) < len(old_keys)):
+            return existing
         return fresh
     merged = dict(fresh)
-    for section in ("benchmarks", "experiments", "counters"):
+    for section in ("benchmarks", "experiments", "counters", "memory"):
         base = existing.get(section)
         update = fresh.get(section)
         if isinstance(base, dict) and isinstance(update, dict):
@@ -134,6 +147,7 @@ def pytest_sessionfinish(session, exitstatus):
         "experiments": collector["experiments"],
         "benchmarks": collector["benchmarks"],
         "counters": collector["counters"],
+        "memory": collector["memory"],
     }
     out = bench_artifact_path()
     if out.exists():

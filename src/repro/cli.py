@@ -11,11 +11,13 @@ Commands:
 - ``verify --deep`` adds the Layer-2 routing-invariant analyzer;
 - ``obs``    — observability: ``summary`` / ``compare`` over the run
   manifests that ``run --trace DIR`` / ``world --trace DIR`` write,
-  ``profile`` for span-aware function profiles, ``ingest`` / ``trend``
-  for the append-only benchmark history, ``timeline`` for per-worker
-  Gantt lanes + parallel overhead attribution, ``speedup`` for the
-  serial-vs-parallel crossover analyzer, and ``dashboard`` for the
-  combined per-run report (terminal or ``--html``);
+  ``profile`` for span-aware function profiles, ``memory`` for the
+  allocation profile + structure census of a ``--memory`` run,
+  ``ingest`` / ``trend`` for the append-only benchmark history,
+  ``timeline`` for per-worker Gantt lanes + parallel overhead
+  attribution, ``speedup`` for the serial-vs-parallel crossover
+  analyzer, and ``dashboard`` for the combined per-run report
+  (terminal or ``--html``);
 - ``explain`` — decision provenance: ``client`` (why one probe landed
   where it did, end to end), ``diff`` (attribute every flipped client
   between two prefixes to the AS decision that changed, §5.4), and
@@ -52,17 +54,47 @@ def _apply_cache_dir(args: argparse.Namespace) -> None:
         set_default_cache(RoutingTableCache(cache_dir))
 
 
+def _attach_memory_census(world, recorder) -> list:
+    """Census the built world's state for the manifest's memory payload."""
+    from repro.obs.memory import world_census
+
+    with obs.span("obs.memory_census"):
+        rows = world_census(world)
+    return [row.to_dict() for row in rows]
+
+
+def _print_memory_report(memory, recorder) -> None:
+    """Render the allocation profile + census after a --memory run."""
+    from repro.obs.memory import memory_payload, render_memory_section
+
+    memory.stop()  # idempotent; tracing() already stopped it
+    payload = memory_payload(memory.snapshot())
+    if recorder.memory_census is not None:
+        payload["census"] = recorder.memory_census
+    print(render_memory_section(payload))
+    print()
+
+
 def _cmd_world(args: argparse.Namespace) -> int:
     from repro.obs.manifest import tracing
     from repro.topology.stats import summarize
 
     cfg = _config_from_args(args)
     _apply_cache_dir(args)
+    memory = None
+    if getattr(args, "memory", False):
+        from repro.obs.memory import MemoryProfiler
+
+        memory = MemoryProfiler("repro-world")
     with tracing(args.trace, label="repro-world", config=cfg,
-                 argv=sys.argv[1:]) as recorder:
+                 argv=sys.argv[1:], memory=memory) as recorder:
         start = time.perf_counter()
         world = World(cfg)
         elapsed = time.perf_counter() - start
+        if memory is not None and recorder is not None:
+            recorder.memory_census = _attach_memory_census(world, recorder)
+    if memory is not None and recorder is not None:
+        _print_memory_report(memory, recorder)
     print(f"world '{cfg.name}' built in {elapsed:.2f}s")
     print(summarize(world.topology).as_text())
     print(
@@ -109,8 +141,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs.prof import SpanProfiler
 
         profiler = SpanProfiler("repro-run")
+    memory = None
+    if getattr(args, "memory", False):
+        from repro.obs.memory import MemoryProfiler
+
+        memory = MemoryProfiler("repro-run")
     with tracing(args.trace, label="repro-run", config=cfg,
-                 argv=sys.argv[1:], profiler=profiler) as recorder:
+                 argv=sys.argv[1:], profiler=profiler,
+                 memory=memory) as recorder:
         world = get_world(cfg)
         results = []
         with obs.span("experiments.run_all", experiments=len(selected)):
@@ -142,6 +180,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # The claim scorecard re-runs experiments; only fold it in
             # when this run already covered all of them.
             record_health(world, include_claims=not wanted)
+        if memory is not None and recorder is not None:
+            recorder.memory_census = _attach_memory_census(world, recorder)
+    if memory is not None and recorder is not None:
+        _print_memory_report(memory, recorder)
     if profiler is not None and recorder is not None:
         from repro.obs.prof import render_profile
         from repro.obs.report import render_span_tree
@@ -391,6 +433,24 @@ def _cmd_obs_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_memory(args: argparse.Namespace) -> int:
+    """Render the memory payload (allocation profile + census) of a run."""
+    from repro.obs.manifest import load_manifest
+    from repro.obs.memory import render_memory_section
+
+    try:
+        manifest = load_manifest(args.run)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read manifest {args.run}: {exc}", file=sys.stderr)
+        return 2
+    if manifest.memory is None:
+        print(f"manifest {args.run} has no memory payload "
+              "(re-run with --memory)", file=sys.stderr)
+        return 2
+    print(render_memory_section(manifest.memory, top=args.top))
+    return 0
+
+
 def _cmd_obs_ingest(args: argparse.Namespace) -> int:
     """Append run manifests / BENCH artifacts to the trend history."""
     from repro.obs.trend import history_file, ingest_files
@@ -635,6 +695,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"cache directory: {cache.directory}")
         print(f"entries: {entries}")
         print(f"bytes: {total_bytes}")
+        sizes = cache.entry_size_stats()
+        if sizes.count:
+            print(f"entry bytes: min {sizes.min_bytes}  "
+                  f"mean {sizes.mean_bytes:.0f}  max {sizes.max_bytes}")
         return 0
     removed = cache.clear()
     print(f"removed {removed} entries from {cache.directory}")
@@ -683,6 +747,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_world.add_argument("--cache-dir", metavar="DIR",
                          help="persist routing tables under DIR "
                               "(see also REPRO_CACHE_DIR)")
+    p_world.add_argument("--memory", action="store_true",
+                         help="attribute allocations to span paths and "
+                              "census routing-state sizes after the build")
     p_world.set_defaults(func=_cmd_world)
 
     p_list = sub.add_parser("list", help="list available experiments")
@@ -703,6 +770,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", action="store_true",
                        help="attribute wall time to functions per span path "
                             "and print the tables after the run")
+    p_run.add_argument("--memory", action="store_true",
+                       help="attribute allocations to span paths and census "
+                            "routing-state sizes (forces serial compute)")
     p_run.add_argument("--parallel", action="store_true",
                        help="run independent experiments across worker "
                             "processes (worker count from REPRO_WORKERS)")
@@ -800,6 +870,14 @@ def build_parser() -> argparse.ArgumentParser:
                                help="also write the manifest (profile "
                                     "embedded) into DIR")
     p_obs_profile.set_defaults(func=_cmd_obs_profile)
+    p_obs_memory = obs_sub.add_parser(
+        "memory",
+        help="allocation profile + structure census of a --memory run")
+    p_obs_memory.add_argument("run", help="a run-<id>.json manifest")
+    p_obs_memory.add_argument("--top", type=int, default=12, metavar="N",
+                              help="span paths / allocation sites / census "
+                                   "rows per table (default 12)")
+    p_obs_memory.set_defaults(func=_cmd_obs_memory)
     p_obs_ingest = obs_sub.add_parser(
         "ingest",
         help="append run manifests / BENCH_obs.json to the trend history")

@@ -43,6 +43,19 @@ _SERIES_PREFIXES = ("experiment.", "world.", "routing.", "experiments.",
 #: 1 / Phi^-1(3/4): scales a MAD to a normal-consistent sigma.
 _MAD_SIGMA = 1.4826
 
+
+def metric_unit(metric: str) -> str:
+    """Display unit of one series metric.
+
+    Wall-time series are milliseconds; ``mem.*`` series carry KiB
+    except the per-unit headline numbers, which are plain bytes.  The
+    median+MAD detector is unit-agnostic (for memory, bigger is worse
+    exactly as for time), so only rendering needs to know.
+    """
+    if metric.startswith("mem."):
+        return "B" if ".bytes_per_" in metric or metric.startswith("mem.bytes_per_") else "KiB"
+    return "ms"
+
 _LABEL_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
 
 
@@ -113,6 +126,19 @@ def record_from_manifest(manifest: RunManifest) -> TrendRecord:
     for _, record in manifest.root.walk():
         if record.name.startswith(_SERIES_PREFIXES):
             series[record.name] = series.get(record.name, 0.0) + record.wall_ms
+        for name, value in record.gauges.items():
+            # Memory gauges (e.g. mem.staged_topology_kib) are series of
+            # their own; last write along the walk wins, matching
+            # RunManifest.gauges().
+            if name.startswith("mem."):
+                series[name] = value
+    # Every manifest carries the root's peak-RSS growth — the coarse
+    # memory series that exists even for runs without --memory.
+    series["mem.rss_peak_kib"] = float(manifest.root.rss_peak_delta_kib)
+    if manifest.memory is not None:
+        from repro.obs.memory import memory_trend_series
+
+        series.update(memory_trend_series(manifest.memory))
     return TrendRecord(
         run_id=manifest.run_id,
         label=manifest.label,
@@ -136,6 +162,13 @@ def record_from_bench(data: dict[str, object]) -> TrendRecord:
     if isinstance(benchmarks, dict):
         for name, wall_ms in benchmarks.items():
             series[f"bench.{name}"] = float(wall_ms)  # type: ignore[arg-type]
+    memory = data.get("memory", {})
+    if isinstance(memory, dict):
+        for name, value in memory.items():
+            key = str(name)
+            series[key if key.startswith("mem.") else f"mem.{key}"] = (
+                float(value)  # type: ignore[arg-type]
+            )
     config = data.get("config")
     git_sha = data.get("git_sha")
     env = {
@@ -273,10 +306,12 @@ class Regression:
         return 100.0 * (self.value_ms - self.baseline_ms) / self.baseline_ms
 
     def render(self) -> str:
+        unit = metric_unit(self.metric)
         return (
-            f"{self.label}/{self.metric}: {self.value_ms:.1f} ms vs median "
-            f"{self.baseline_ms:.1f} ms over last {self.window} runs "
-            f"({self.delta_pct:+.1f}%, threshold {self.threshold_ms:.1f} ms)"
+            f"{self.label}/{self.metric}: {self.value_ms:.1f} {unit} "
+            f"vs median {self.baseline_ms:.1f} {unit} over last "
+            f"{self.window} runs ({self.delta_pct:+.1f}%, threshold "
+            f"{self.threshold_ms:.1f} {unit})"
         )
 
 
@@ -379,8 +414,9 @@ def render_trend(
                 100.0 * (values[-1] - base) / base if base > 0.0 else 0.0
             )
             mark = "  << REGRESSION" if (label, metric) in flagged else ""
+            unit = metric_unit(metric)
             lines.append(
-                f"  {metric:{width}}  {spark}  {values[-1]:9.1f} ms  "
+                f"  {metric:{width}}  {spark}  {values[-1]:9.1f} {unit:<3} "
                 f"(median {base:.1f}, {delta:+.1f}%){mark}"
             )
     all_regs = [r for regs in (regressions or {}).values() for r in regs]

@@ -261,6 +261,17 @@ class CacheStats:
     store_errors: int = 0
 
 
+@dataclass(frozen=True)
+class EntrySizeStats:
+    """Per-entry size distribution of one on-disk cache directory."""
+
+    count: int
+    total_bytes: int
+    min_bytes: int
+    mean_bytes: float
+    max_bytes: int
+
+
 class RoutingTableCache:
     """Content-addressed store of routing tables under one directory."""
 
@@ -363,6 +374,30 @@ class RoutingTableCache:
             except OSError:
                 pass
         return len(entries), total
+
+    def entry_size_stats(self) -> "EntrySizeStats":
+        """Per-entry size distribution of the on-disk store.
+
+        One encoded routing table per entry, so these are the on-disk
+        bytes-per-table numbers ``repro cache stats`` reports next to
+        the in-memory census (:mod:`repro.obs.memory`) — the codec's
+        side of the ROADMAP item 1 baseline.
+        """
+        sizes: list[int] = []
+        for entry in self.entries():
+            try:
+                sizes.append(entry.stat().st_size)
+            except OSError:
+                pass
+        if not sizes:
+            return EntrySizeStats(0, 0, 0, 0.0, 0)
+        return EntrySizeStats(
+            count=len(sizes),
+            total_bytes=sum(sizes),
+            min_bytes=min(sizes),
+            mean_bytes=sum(sizes) / len(sizes),
+            max_bytes=max(sizes),
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -33,7 +33,6 @@ from typing import Any, Callable
 from repro import obs
 from repro.dnssim.resolver import DnsMode, ResolverPool
 from repro.dnssim.service import GeoMappingService
-from repro.explain import provenance
 from repro.measurement.engine import (
     MeasurementEngine,
     PingResult,
@@ -78,13 +77,16 @@ def _init_fleet_worker(state: FleetState | None, fork_key: int) -> None:
     entry for ``fork_key`` is used instead (page-shared, never
     serialised).
 
-    Recorders inherited across a ``fork`` belong to the parent, so both
-    observability and provenance are disabled up front; tracing re-enters
-    per task through :func:`repro.par.obsbuf.start_capture`.
+    Captures inherited across a ``fork`` (recorder, provenance,
+    tracemalloc) belong to the parent, so
+    :func:`repro.par.pool.reset_worker_capture` disables them up front;
+    tracing re-enters per task through
+    :func:`repro.par.obsbuf.start_capture`.
     """
+    from repro.par.pool import reset_worker_capture
+
     global _ENGINE, _PROBES, _RESOLVERS, _SERVICES
-    obs.install(None)
-    provenance.install(None)
+    reset_worker_capture()
     if state is None:
         state = _FORK_STATES.get(fork_key)
     if state is None:

@@ -21,7 +21,6 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro import obs
-from repro.explain import provenance
 from repro.par.obsbuf import (
     WorkerPayload,
     finish_capture,
@@ -47,14 +46,16 @@ def _init_routing_worker(topology: Topology | None) -> None:
     ``topology`` is None in forked workers — the staged parent global is
     used instead (page-shared, never serialised).
 
-    Any recorder inherited across a ``fork`` belongs to the parent —
-    writes to it would be silently lost — so both observability and
-    provenance are explicitly disabled before work arrives; tracing
-    re-enters per task through :func:`repro.par.obsbuf.start_capture`.
+    Captures inherited across a ``fork`` (recorder, provenance,
+    tracemalloc) belong to the parent, so
+    :func:`repro.par.pool.reset_worker_capture` disables them before
+    work arrives; tracing re-enters per task through
+    :func:`repro.par.obsbuf.start_capture`.
     """
+    from repro.par.pool import reset_worker_capture
+
     global _WORKER_ENGINE
-    obs.install(None)
-    provenance.install(None)
+    reset_worker_capture()
     if topology is None:
         topology = _FORK_TOPOLOGY
     if topology is None:
@@ -106,6 +107,16 @@ def compute_fanout(
         return [engine.compute_uncached(a) for a in announcements]
     record = obs.active() is not None
     with obs.span("par.stage", items=len(announcements)):
+        if record:
+            # Deep size of the staged state, memoized per topology
+            # version (repro.obs.memory) — a dict probe on every
+            # fan-out after the first, so traced runs stay cheap.
+            from repro.obs.memory import staged_footprint_bytes
+
+            obs.gauge.set(
+                "mem.staged_topology_kib",
+                staged_footprint_bytes(topology, topology.version) / 1024.0,
+            )
         tasks = [
             (announcement, record, index)
             for index, announcement in enumerate(announcements)

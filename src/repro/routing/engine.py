@@ -122,6 +122,14 @@ class RoutingTable:
         route = self.route_at(node_id)
         return route.origin if route is not None else None
 
+    def num_routes(self) -> int:
+        """Total stored routes over every node's equal-best set.
+
+        The denominator of the memory census's bytes-per-route headline
+        (:func:`repro.obs.memory.census_routing_table`).
+        """
+        return sum(len(choice.routes) for choice in self.best.values())
+
     def reachable_fraction(self) -> float:
         """Fraction of nodes holding a route (global reachability, §4.5)."""
         if self._num_nodes <= 0:

@@ -40,6 +40,7 @@ def _artifact(**overrides) -> dict:
         "experiments": {"fig4": {"wall_ms": 20.0, "cpu_ms": 18.0}},
         "benchmarks": {"test_a": 10.0, "test_b": 20.0},
         "counters": {"routing.routes_pushed": 5},
+        "memory": {"routing_state_kib": 10_000.0},
     }
     base.update(overrides)
     return base
@@ -78,6 +79,36 @@ class TestMergeBenchArtifacts:
         existing = _artifact(config="MEDIUM")
         fresh = _artifact(run_id="r-new")
         assert mod.merge_bench_artifacts(existing, fresh) is fresh
+
+    def test_config_mismatch_keeps_fuller_existing(self):
+        """A partial run must not demote a fuller incomparable artifact.
+
+        Config mismatch means no key-level merge is meaningful — but a
+        single-module run (1 benchmark key) replacing a full-suite
+        artifact (2 keys) would silently shrink the committed history,
+        so the existing artifact survives untouched.
+        """
+        mod = _load_bench_conftest()
+        existing = _artifact(config="MEDIUM")
+        fresh = _artifact(
+            run_id="r-new", benchmarks={"test_a": 12.0},
+            experiments={}, counters={}, memory={},
+        )
+        assert mod.merge_bench_artifacts(existing, fresh) is existing
+
+    def test_memory_section_merges_by_key(self):
+        mod = _load_bench_conftest()
+        existing = _artifact()
+        fresh = _artifact(
+            run_id="r-new",
+            benchmarks={"test_a": 12.0},
+            memory={"bytes_per_route": 400.0},
+        )
+        merged = mod.merge_bench_artifacts(existing, fresh)
+        assert merged["memory"] == {
+            "routing_state_kib": 10_000.0,
+            "bytes_per_route": 400.0,
+        }
 
     def test_full_rerun_overwrites_every_key(self):
         mod = _load_bench_conftest()

@@ -58,7 +58,11 @@ class TestIngestion:
                 pass
         record = record_from_manifest(from_recorder(rec))
         assert record.kind == "manifest"
-        assert set(record.series) == {"experiment.fig4", "world.build"}
+        # every manifest also carries the coarse peak-RSS memory series
+        assert set(record.series) == {
+            "experiment.fig4", "world.build", "mem.rss_peak_kib",
+        }
+        assert record.series["mem.rss_peak_kib"] >= 0.0
         # Two occurrences of the same span name sum into one series.
         fig4 = rec.root.children[0].wall_ms + rec.root.children[1].wall_ms
         assert record.series["experiment.fig4"] == pytest.approx(fig4)
@@ -79,6 +83,40 @@ class TestIngestion:
             "bench.test_bench_fig4": 10.5,
         }
         assert record.run_id  # synthesised when the artifact has none
+
+    def test_record_from_bench_memory_section(self):
+        record = record_from_bench({
+            "label": "bench",
+            "benchmarks": {"test_bench_fig4": 10.5},
+            "memory": {
+                "routing_state_kib": 10_272.3,
+                "mem.bytes_per_route": 404.4,
+            },
+        })
+        assert record.series["mem.routing_state_kib"] == 10_272.3
+        # an already-prefixed key is not double-prefixed
+        assert record.series["mem.bytes_per_route"] == 404.4
+
+    def test_record_from_memory_manifest(self):
+        from repro.obs.memory import MemoryProfiler
+
+        obs.uninstall()
+        profiler = MemoryProfiler("runner")
+        with obs.recording("runner", memory=profiler) as rec:
+            with obs.span("world.build"):
+                keep = bytearray(256 * 1024)  # noqa: F841
+        record = record_from_manifest(from_recorder(rec))
+        assert record.series["mem.traced_net_kib"] > 0
+        assert record.series["mem.traced_peak_kib"] > 0
+
+    def test_metric_unit(self):
+        from repro.obs.trend import metric_unit
+
+        assert metric_unit("experiment.fig4") == "ms"
+        assert metric_unit("mem.rss_peak_kib") == "KiB"
+        assert metric_unit("mem.census.topology_kib") == "KiB"
+        assert metric_unit("mem.bytes_per_route") == "B"
+        assert metric_unit("mem.bytes_per_as") == "B"
 
     def test_record_from_file_dispatches_and_rejects(self, tmp_path):
         bench = tmp_path / "BENCH_obs.json"
