@@ -18,7 +18,13 @@ The observability substrate of the reproduction pipeline:
 - :mod:`repro.obs.health` — domain health gauges recorded at the end of
   instrumented runs (``health.*``);
 - :mod:`repro.obs.report` — ``obs summary`` / ``obs compare`` /
-  ``obs dashboard`` rendering.
+  ``obs dashboard`` rendering;
+- :mod:`repro.obs.live` — live-run telemetry: stream following
+  (``repro obs tail`` / ``watch``), progress/ETA against the trend
+  history, crash-safe checkpoint manifests, and the per-worker
+  heartbeat side-channel;
+- :mod:`repro.obs.watchdog` — stall detection over a live stream
+  (``repro obs watchdog [--gate]``).
 
 Typical instrumentation::
 

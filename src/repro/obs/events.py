@@ -5,6 +5,17 @@ recorder can mirror every span start/end to an append-only JSONL file
 through an :class:`EventSink`.  Unlike the manifest (written once at the
 end), the event stream is flushed incrementally, so a killed run still
 leaves a usable timeline behind.
+
+Stream framing (schema 2): the first line of every stream is a
+``run_header`` event (run id, label, config name, pid, absolute start
+time), the recorder interleaves periodic ``hb`` heartbeat events
+(wall/CPU/RSS, open-span path, counter totals) with the span
+``start``/``end`` events, and a clean close appends a terminal
+``run_end`` sentinel.  A reader can therefore tell a *finished* stream
+(``run_end`` present) from a *stalled or killed* one (stream simply
+stops) — :func:`read_events` returns an :class:`EventLog` whose
+``completed`` flag makes the distinction one attribute away for every
+consumer.
 """
 
 from __future__ import annotations
@@ -12,6 +23,17 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Protocol
+
+#: Event-stream layout version, stamped into the ``run_header``.
+#: Version 2 added the run_header / hb / run_end framing events.
+EVENTS_SCHEMA = 2
+
+#: Event kinds a stream may carry, in the order they typically appear.
+EV_RUN_HEADER = "run_header"
+EV_START = "start"
+EV_END = "end"
+EV_HEARTBEAT = "hb"
+EV_RUN_END = "run_end"
 
 
 class EventSink(Protocol):
@@ -27,6 +49,14 @@ class JsonlEventSink:
 
     The file handle is flushed every ``flush_every`` events so the
     timeline of a long (or crashed) run is salvageable mid-flight.
+
+    The file is opened with create-exclusive (``"x"``) semantics: a
+    fresh stream always gets a fresh inode.  When the path already
+    exists (a re-run into the same trace directory), the stale file is
+    unlinked first and created anew rather than truncated in place —
+    a reader tailing the old stream keeps its handle on the old inode
+    and sees a stable (if abandoned) prefix, never a file shrinking
+    under its read offset.
     """
 
     def __init__(self, path: Path | str, flush_every: int = 32):
@@ -34,7 +64,13 @@ class JsonlEventSink:
             raise ValueError(f"flush_every must be positive: {flush_every!r}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "w", encoding="utf-8")
+        try:
+            self._fh = open(self.path, "x", encoding="utf-8")
+        except FileExistsError:
+            # Replace, never truncate: give concurrent tail readers the
+            # old inode and this stream a new one.
+            self.path.unlink()
+            self._fh = open(self.path, "x", encoding="utf-8")
         self._flush_every = flush_every
         self._pending = 0
         self._closed = False
@@ -46,6 +82,12 @@ class JsonlEventSink:
         self._fh.write("\n")
         self._pending += 1
         if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def flush(self) -> None:
+        """Force pending events to disk (used around heartbeats)."""
+        if not self._closed:
             self._fh.flush()
             self._pending = 0
 
@@ -70,13 +112,38 @@ class ListEventSink:
         self.closed = True
 
 
-def read_events(path: Path | str) -> list[dict[str, object]]:
-    """Parse a JSONL event stream back into a list of event dicts.
+class EventLog(list):  # type: ignore[type-arg]
+    """The parsed events of one stream, plus liveness metadata.
+
+    A plain ``list`` of event dicts (so every pre-existing consumer
+    keeps working unchanged) with two extra attributes:
+
+    - ``completed`` — True when the stream carries a ``run_end``
+      sentinel, i.e. the recording closed cleanly.  False means the
+      run is still in flight, stalled, or was killed.
+    - ``header`` — the ``run_header`` event when the stream has one
+      (schema 2 streams always do; pre-header streams return None).
+    """
+
+    def __init__(self, events: list[dict[str, object]] | None = None):
+        super().__init__(events or [])
+        self.completed: bool = any(
+            e.get("ev") == EV_RUN_END for e in self
+        )
+        self.header: dict[str, object] | None = next(
+            (e for e in self if e.get("ev") == EV_RUN_HEADER), None
+        )
+
+
+def read_events(path: Path | str) -> EventLog:
+    """Parse a JSONL event stream back into an :class:`EventLog`.
 
     A truncated *final* line — the signature of a run killed mid-write —
     is tolerated and dropped, so the timeline of a crashed run stays
     readable.  A malformed line anywhere else means the file is corrupt,
-    not torn, and still raises.
+    not torn, and still raises.  The returned log is a plain list of
+    event dicts whose ``completed`` attribute distinguishes a cleanly
+    finished stream (``run_end`` seen) from a crashed or in-flight one.
     """
     events: list[dict[str, object]] = []
     with open(path, encoding="utf-8") as fh:
@@ -90,4 +157,4 @@ def read_events(path: Path | str) -> list[dict[str, object]]:
             if any(later for later in lines[index + 1:]):
                 raise
             break  # torn tail write; keep the parsed prefix
-    return events
+    return EventLog(events)

@@ -1,0 +1,873 @@
+"""Live-run telemetry: stream following, progress/ETA, checkpoints.
+
+Everything else in ``repro.obs`` is post-hoc — manifests, trends,
+timelines all require the run to have exited.  This module is the
+*while-it-runs* plane built on the schema-2 event stream
+(:mod:`repro.obs.events`):
+
+- :class:`EventFollower` tails a JSONL stream torn-tail tolerantly — a
+  reader polling mid-flush only ever sees a shorter prefix, never a
+  parse error — and powers ``repro obs tail``.
+- :func:`replay_events` reconstructs the span tree of an *unfinished*
+  stream (start events without matching ends become ``open`` spans),
+  and :func:`manifest_from_events` lifts that into a loadable
+  :class:`~repro.obs.manifest.RunManifest` so ``repro obs summary``
+  works on the stream of a killed run.
+- :func:`expectations_from_history` derives expected per-span durations
+  from the trend history with the same robust statistics as the
+  regression gate (median + MAD, see :mod:`repro.obs.trend`);
+  :func:`compute_status` turns a replayed stream plus expectations into
+  % complete and an ETA for ``repro obs watch``.
+- :class:`CheckpointWriter` periodically flushes a partial manifest
+  (``run-<id>.checkpoint.json``, ``"incomplete": true``) from the
+  recorder's heartbeat tick, so a SIGKILLed build still leaves a
+  loadable manifest behind.
+- The worker heartbeat side-channel (:func:`worker_beat` /
+  :func:`read_worker_heartbeats`) gives forked workers a liveness
+  trail of their own: one append-only JSONL per pid under
+  ``hb-<run_id>/``, inherited through fork, merged on read — so the
+  watchdog catches a hung *worker*, not just a hung parent.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.events import (
+    EV_END,
+    EV_HEARTBEAT,
+    EV_RUN_END,
+    EV_RUN_HEADER,
+    EV_START,
+    EventLog,
+    read_events,
+)
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    RunManifest,
+    current_git_sha,
+    seeds_of,
+)
+from repro.obs.recorder import Recorder, SpanRecord
+from repro.obs.trend import MAD_SIGMA, TrendRecord
+
+#: Series key for the whole-run wall time in an expectations map.
+TOTAL_METRIC = "total"
+
+
+# ----------------------------------------------------------------------
+# Stream replay: events -> span tree + liveness facts
+# ----------------------------------------------------------------------
+@dataclass
+class StreamView:
+    """One event stream replayed into a queryable shape."""
+
+    root: SpanRecord
+    header: dict[str, object] | None = None
+    completed: bool = False
+    #: Final status from the run_end sentinel (None while in flight).
+    end_status: str | None = None
+    #: Largest recorder-relative timestamp seen, ms.
+    last_t_ms: float = 0.0
+    #: Best absolute anchor for "when did we last hear from the run":
+    #: the max ``unix`` stamp over header/heartbeat/run_end events,
+    #: advanced to the estimated absolute time of the last span event.
+    last_unix: float | None = None
+    #: Open (unclosed) spans outermost-first as ``(record, start t_ms)``.
+    open_spans: list[tuple[SpanRecord, float]] = field(default_factory=list)
+    #: Wall ms of *closed* spans summed by span name.
+    closed_ms_by_name: dict[str, float] = field(default_factory=dict)
+    #: Most recent heartbeat event, when the stream carries any.
+    last_hb: dict[str, object] | None = None
+
+    @property
+    def run_id(self) -> str | None:
+        value = (self.header or {}).get("run_id")
+        return None if value is None else str(value)
+
+    @property
+    def label(self) -> str:
+        return str((self.header or {}).get("label", "run"))
+
+    @property
+    def header_unix(self) -> float | None:
+        value = (self.header or {}).get("unix")
+        return float(value) if isinstance(value, (int, float)) else None
+
+    def counters(self) -> dict[str, float]:
+        """Live counter totals: last heartbeat snapshot, else tree sum."""
+        if self.last_hb is not None:
+            raw = self.last_hb.get("counters")
+            if isinstance(raw, dict):
+                return {str(k): float(v) for k, v in raw.items()}
+        return self.root.subtree_counters()
+
+    def observed_ms_by_name(self, now_ms: float | None = None) -> dict[str, float]:
+        """Closed wall per span name, plus elapsed time of open spans."""
+        if now_ms is None:
+            now_ms = self.last_t_ms
+        observed = dict(self.closed_ms_by_name)
+        for record, t0_ms in self.open_spans:
+            observed[record.name] = (
+                observed.get(record.name, 0.0) + max(0.0, now_ms - t0_ms)
+            )
+        return observed
+
+
+def replay_events(events: EventLog | list[dict[str, object]]) -> StreamView:
+    """Reconstruct the span tree and liveness facts of one stream.
+
+    Mirrors the recorder's own stack discipline, so a stream cut off at
+    any line yields the same tree the recorder held in memory at that
+    moment: spans whose ``end`` never arrived stay on the stack and are
+    marked ``status="open"`` with ``wall_ms`` equal to their elapsed
+    time up to the last event seen.
+    """
+    header: dict[str, object] | None = None
+    if isinstance(events, EventLog):
+        header = events.header
+    root = SpanRecord(name="run")
+    view = StreamView(root=root, header=header)
+    stack: list[SpanRecord] = [root]
+    t0_ms: list[float] = [0.0]
+    for event in events:
+        kind = event.get("ev")
+        t_ms = event.get("t_ms")
+        if isinstance(t_ms, (int, float)):
+            view.last_t_ms = max(view.last_t_ms, float(t_ms))
+        unix = event.get("unix")
+        if isinstance(unix, (int, float)):
+            view.last_unix = max(view.last_unix or 0.0, float(unix))
+        if kind == EV_RUN_HEADER:
+            view.header = event
+            root.name = str(event.get("label", "run"))
+        elif kind == EV_START:
+            record = SpanRecord(
+                name=str(event.get("span", "?")),
+                attrs=dict(event.get("attrs") or {}),  # type: ignore[call-overload]
+            )
+            stack[-1].children.append(record)
+            stack.append(record)
+            t0_ms.append(float(t_ms) if isinstance(t_ms, (int, float)) else 0.0)
+        elif kind == EV_END:
+            name = str(event.get("span", "?"))
+            if not any(record.name == name for record in stack[1:]):
+                continue  # end without a start: stream began mid-run
+            while len(stack) > 1:
+                record = stack.pop()
+                del t0_ms[len(stack):]
+                if record.name == name:
+                    wall = event.get("wall_ms")
+                    record.wall_ms = (
+                        float(wall) if isinstance(wall, (int, float)) else 0.0
+                    )
+                    record.status = str(event.get("status", "ok"))
+                    raw = event.get("counters")
+                    if isinstance(raw, dict):
+                        record.counters = {
+                            str(k): float(v) for k, v in raw.items()
+                        }
+                    view.closed_ms_by_name[name] = (
+                        view.closed_ms_by_name.get(name, 0.0) + record.wall_ms
+                    )
+                    break
+        elif kind == EV_HEARTBEAT:
+            view.last_hb = event
+        elif kind == EV_RUN_END:
+            view.completed = True
+            view.end_status = str(event.get("status", "ok"))
+            wall = event.get("wall_ms")
+            if isinstance(wall, (int, float)):
+                root.wall_ms = float(wall)
+            cpu = event.get("cpu_ms")
+            if isinstance(cpu, (int, float)):
+                root.cpu_ms = float(cpu)
+            if view.end_status is not None:
+                root.status = view.end_status
+    # Span events carry no absolute clock; estimate one from the header
+    # anchor so a stream of pure start/end traffic still advances
+    # "last heard from".
+    anchor = view.header_unix
+    if anchor is not None:
+        view.last_unix = max(
+            view.last_unix or 0.0, anchor + view.last_t_ms / 1000.0
+        )
+    # Whatever is still on the stack never closed.
+    for index, record in enumerate(stack[1:], start=1):
+        start_ms = t0_ms[index] if index < len(t0_ms) else 0.0
+        record.status = "open"
+        record.wall_ms = max(0.0, view.last_t_ms - start_ms)
+        view.open_spans.append((record, start_ms))
+    if not view.completed:
+        root.status = "open"
+        root.wall_ms = view.last_t_ms
+    return view
+
+
+def manifest_from_events(path: Path | str) -> RunManifest:
+    """Lift an event stream — finished or torn — into a RunManifest.
+
+    The manifest of a killed run is partial (``incomplete=True``,
+    unclosed spans marked ``open``) but loads and renders through every
+    existing ``repro obs`` surface.
+    """
+    events = read_events(path)
+    view = replay_events(events)
+    run_id = view.run_id or Path(path).stem.replace("events-", "")
+    config = (view.header or {}).get("config")
+    return RunManifest(
+        run_id=run_id,
+        label=view.label,
+        config_name=None if config is None else str(config),
+        seeds={},
+        git_sha=None,
+        argv=[],
+        root=view.root,
+        incomplete=not view.completed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tailing: incremental, torn-tail-tolerant stream following
+# ----------------------------------------------------------------------
+class EventFollower:
+    """Incrementally reads complete JSONL lines from a growing stream.
+
+    Only newline-terminated lines are parsed; a partial final line (the
+    writer mid-flush) stays buffered until its newline arrives, so a
+    concurrent reader never sees a parse error — just a shorter prefix.
+    If the file shrinks or is replaced under us (a re-run into the same
+    trace dir creates a fresh inode), the follower starts over from the
+    new beginning.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self._offset = 0
+        self._buffer = ""
+        self.completed = False
+        self.events: list[dict[str, object]] = []
+
+    def poll(self) -> list[dict[str, object]]:
+        """New complete events since the last poll (empty when none)."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            self._offset = 0
+            self._buffer = ""
+            self.completed = False
+            self.events = []
+        with open(self.path, encoding="utf-8") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+            self._offset = fh.tell()
+        self._buffer += chunk
+        fresh: list[dict[str, object]] = []
+        while True:
+            newline = self._buffer.find("\n")
+            if newline < 0:
+                break
+            line = self._buffer[:newline].strip()
+            self._buffer = self._buffer[newline + 1:]
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a corrupt middle line; skip, keep following
+            if isinstance(event, dict):
+                fresh.append(event)
+                if event.get("ev") == EV_RUN_END:
+                    self.completed = True
+        self.events.extend(fresh)
+        return fresh
+
+    def follow(
+        self,
+        *,
+        poll_s: float = 0.25,
+        timeout_s: float | None = None,
+        until_end: bool = True,
+    ) -> Iterator[dict[str, object]]:
+        """Yield events as they land; stop on run_end or timeout."""
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            for event in self.poll():
+                yield event
+            if until_end and self.completed:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(poll_s)
+
+
+def resolve_events_path(
+    target: Path | str, *, wait_s: float = 0.0, poll_s: float = 0.2
+) -> Path:
+    """A concrete events JSONL from a file path or a run directory.
+
+    A directory resolves to its newest ``events-*.jsonl``; with
+    ``wait_s`` the resolver waits up to that long for one to appear —
+    the tail-a-run-you-just-backgrounded case.
+    """
+    path = Path(target)
+    deadline = time.monotonic() + max(0.0, wait_s)
+    while True:
+        if path.is_file():
+            return path
+        if path.is_dir():
+            streams = sorted(
+                path.glob("events-*.jsonl"),
+                key=lambda p: (p.stat().st_mtime, p.name),
+            )
+            if streams:
+                return streams[-1]
+        if time.monotonic() >= deadline:
+            raise FileNotFoundError(
+                f"no events JSONL at {target} (expected a file or a trace "
+                "directory containing events-<run_id>.jsonl)"
+            )
+        time.sleep(poll_s)
+
+
+def checkpoint_path_for(events_path: Path | str) -> Path | None:
+    """The checkpoint manifest sibling of one events stream, if any."""
+    path = Path(events_path)
+    run_id = path.stem.replace("events-", "")
+    candidate = path.parent / f"run-{run_id}.checkpoint.json"
+    return candidate if candidate.exists() else None
+
+
+def heartbeat_dir_for(events_path: Path | str) -> Path:
+    """The worker-heartbeat side-channel dir next to one events stream."""
+    path = Path(events_path)
+    run_id = path.stem.replace("events-", "")
+    return path.parent / f"hb-{run_id}"
+
+
+# ----------------------------------------------------------------------
+# Expectations: trend history -> per-span duration budgets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Expectation:
+    """Robust duration statistics of one metric across prior runs."""
+
+    metric: str
+    median_ms: float
+    mad_ms: float
+    p95_ms: float
+    n: int
+
+    def budget_ms(
+        self, *, mad_k: float = 4.0, min_budget_ms: float = 250.0
+    ) -> float:
+        """Stall threshold: historical p95 plus a MAD margin.
+
+        The same robust scale the trend regression gate uses
+        (``mad_k * 1.4826 * MAD``), anchored at the p95 instead of the
+        median because a *live* span at p95 is normal, not stalled.
+        The floor keeps sub-millisecond spans from flagging on noise.
+        """
+        return max(
+            self.p95_ms + mad_k * MAD_SIGMA * self.mad_ms, min_budget_ms
+        )
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _p95(values: list[float]) -> float:
+    ordered = sorted(values)
+    index = max(0, math.ceil(0.95 * len(ordered)) - 1)
+    return ordered[index]
+
+
+def expectations_from_history(
+    records: list[TrendRecord], *, min_history: int = 3
+) -> dict[str, Expectation]:
+    """Per-metric duration expectations from trend records.
+
+    Only metrics observed in at least ``min_history`` runs produce an
+    expectation — the same arming rule as the regression gate.  The
+    whole-run wall time contributes the :data:`TOTAL_METRIC` entry.
+    ``mem.*`` series are sizes, not durations, and are skipped.
+    """
+    values: dict[str, list[float]] = {}
+    for record in records:
+        for metric, value in record.series.items():
+            if metric.startswith("mem."):
+                continue
+            values.setdefault(metric, []).append(value)
+        if record.total_wall_ms > 0.0:
+            values.setdefault(TOTAL_METRIC, []).append(record.total_wall_ms)
+    expectations: dict[str, Expectation] = {}
+    for metric, series in sorted(values.items()):
+        if len(series) < min_history:
+            continue
+        med = _median(series)
+        expectations[metric] = Expectation(
+            metric=metric,
+            median_ms=med,
+            mad_ms=_median([abs(v - med) for v in series]),
+            p95_ms=_p95(series),
+            n=len(series),
+        )
+    return expectations
+
+
+def expectations_for_label(
+    history_dir: Path | str, label: str, *, min_history: int = 3
+) -> dict[str, Expectation]:
+    """Expectations for one run label from a trend history directory.
+
+    Series keys are stable span *names* (the trend convention), so when
+    the exact label has no history yet — a ``world`` build judged
+    against a history fed by the bench suite — every label's records
+    are pooled instead: the span names still line up.
+    """
+    from repro.obs.trend import load_history
+
+    history = load_history(history_dir)
+    records = history.get(label)
+    if not records:
+        records = [record for recs in history.values() for record in recs]
+    return expectations_from_history(records, min_history=min_history)
+
+
+# ----------------------------------------------------------------------
+# Progress / ETA
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerStatus:
+    """Liveness of one forked worker, from its heartbeat file."""
+
+    pid: int
+    last_ev: str
+    last_unix: float
+    #: Chunk index of the in-flight task, when mid-task.
+    chunk: int | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.last_ev in ("task_start", "start")
+
+    def idle_s(self, now_unix: float) -> float:
+        return max(0.0, now_unix - self.last_unix)
+
+
+@dataclass
+class LiveStatus:
+    """Everything ``repro obs watch`` renders for one poll."""
+
+    view: StreamView
+    now_ms: float
+    #: Profile-weighted completion in [0, 1], None without history.
+    fraction: float | None = None
+    eta_ms: float | None = None
+    expected_total_ms: float | None = None
+    workers: list[WorkerStatus] = field(default_factory=list)
+
+
+def compute_status(
+    view: StreamView,
+    expectations: dict[str, Expectation] | None = None,
+    *,
+    now_unix: float | None = None,
+    workers: list[WorkerStatus] | None = None,
+) -> LiveStatus:
+    """Progress and ETA of a replayed stream against its history.
+
+    Completion is profile-weighted: each expected metric contributes
+    ``min(observed, median) / sum(medians)``, so one fast span can't
+    claim more than its historical share and the fraction is monotone.
+    ETA prefers the historical total (median of ``total_wall_ms``);
+    without one it extrapolates from the observed fraction.
+    """
+    now_ms = view.last_t_ms
+    anchor = view.header_unix
+    if not view.completed and now_unix is not None and anchor is not None:
+        now_ms = max(now_ms, (now_unix - anchor) * 1000.0)
+    if view.completed:
+        now_ms = view.root.wall_ms or view.last_t_ms
+    status = LiveStatus(view=view, now_ms=now_ms, workers=list(workers or []))
+    if view.completed:
+        status.fraction = 1.0
+        status.eta_ms = 0.0
+    if not expectations:
+        return status
+    total = expectations.get(TOTAL_METRIC)
+    if total is not None:
+        status.expected_total_ms = total.median_ms
+    if view.completed:
+        return status
+    observed = view.observed_ms_by_name(now_ms)
+    numer = 0.0
+    denom = 0.0
+    for metric, expect in expectations.items():
+        if metric == TOTAL_METRIC:
+            continue
+        denom += expect.median_ms
+        numer += min(observed.get(metric, 0.0), expect.median_ms)
+    if denom > 0.0:
+        status.fraction = max(0.0, min(1.0, numer / denom))
+    if status.expected_total_ms is not None:
+        status.eta_ms = max(0.0, status.expected_total_ms - now_ms)
+    elif status.fraction is not None and status.fraction > 0.05:
+        status.eta_ms = now_ms * (1.0 - status.fraction) / status.fraction
+    return status
+
+
+# ----------------------------------------------------------------------
+# Worker heartbeat side-channel
+# ----------------------------------------------------------------------
+#: Directory forked workers append their heartbeat lines into.  Module
+#: state on purpose: set in the parent before the pool forks, inherited
+#: copy-on-write by every worker, exactly like the fork-staging
+#: registries in repro.par.pool.
+_WORKER_HB_DIR: Path | None = None
+
+
+def set_worker_heartbeat_dir(path: Path | str | None) -> Path | None:
+    """Install (or clear) the side-channel dir; returns the previous one."""
+    global _WORKER_HB_DIR
+    previous = _WORKER_HB_DIR
+    _WORKER_HB_DIR = None if path is None else Path(path)
+    if _WORKER_HB_DIR is not None:
+        try:
+            _WORKER_HB_DIR.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            _WORKER_HB_DIR = None
+    return previous
+
+
+def worker_heartbeat_dir() -> Path | None:
+    """The installed side-channel dir, or None when disabled."""
+    return _WORKER_HB_DIR
+
+
+def worker_beat(ev: str, **fields: object) -> None:
+    """Append one liveness line to this process's worker heartbeat file.
+
+    A no-op (one global load, one None check) when no side-channel dir
+    is installed.  Each worker writes only its own ``worker-<pid>.jsonl``
+    in append mode — no cross-process locking needed — and any OSError
+    is swallowed: liveness reporting must never kill the work.
+    """
+    directory = _WORKER_HB_DIR
+    if directory is None:
+        return
+    line: dict[str, object] = {
+        "ev": ev,
+        "pid": os.getpid(),
+        "unix": time.time(),  # repro-lint: disable=fork-wallclock -- liveness timestamp, not a duration; the watchdog compares it to the reader's wall clock
+    }
+    line.update(fields)
+    try:
+        with open(
+            directory / f"worker-{os.getpid()}.jsonl", "a", encoding="utf-8"
+        ) as fh:
+            fh.write(json.dumps(line, separators=(",", ":"), default=str) + "\n")
+            fh.flush()
+    except OSError:
+        pass
+
+
+def read_worker_heartbeats(
+    directory: Path | str,
+) -> dict[int, list[dict[str, object]]]:
+    """All workers' beats, merged on read, keyed by pid.
+
+    Torn or corrupt lines are skipped (workers may be mid-append); a
+    missing directory is simply an empty fleet.
+    """
+    beats: dict[int, list[dict[str, object]]] = {}
+    root = Path(directory)
+    if not root.is_dir():
+        return beats
+    for path in sorted(root.glob("worker-*.jsonl")):
+        events: list[dict[str, object]] = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(event, dict):
+                        events.append(event)
+        except OSError:
+            continue
+        if not events:
+            continue
+        raw_pid = events[-1].get("pid")
+        try:
+            pid = int(raw_pid)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            pid = int(path.stem.replace("worker-", "") or 0)
+        beats.setdefault(pid, []).extend(events)
+    return beats
+
+
+def worker_statuses(
+    beats: dict[int, list[dict[str, object]]]
+) -> list[WorkerStatus]:
+    """The latest beat of each worker, pid-ordered."""
+    statuses: list[WorkerStatus] = []
+    for pid in sorted(beats):
+        events = beats[pid]
+        last = events[-1]
+        unix = last.get("unix")
+        chunk = last.get("chunk")
+        statuses.append(
+            WorkerStatus(
+                pid=pid,
+                last_ev=str(last.get("ev", "?")),
+                last_unix=(
+                    float(unix) if isinstance(unix, (int, float)) else 0.0
+                ),
+                chunk=int(chunk) if isinstance(chunk, int) else None,
+            )
+        )
+    return statuses
+
+
+# ----------------------------------------------------------------------
+# Crash-safe checkpoint manifests
+# ----------------------------------------------------------------------
+def snapshot_tree(recorder: Recorder, now: float | None = None) -> SpanRecord:
+    """A consistent deep copy of the live span tree.
+
+    Spans still on the recorder's stack get ``status="open"`` and a
+    ``wall_ms`` stamped from their elapsed time — the same convention
+    :func:`replay_events` uses for torn streams, so every downstream
+    renderer treats both the same way.
+    """
+    if now is None:
+        now = time.perf_counter()
+    open_t0 = {id(record): t0 for record, t0 in recorder.open_spans()}
+
+    def copy(record: SpanRecord) -> SpanRecord:
+        t0 = open_t0.get(id(record))
+        if t0 is not None:
+            wall = max(0.0, (now - t0) * 1000.0)
+            status = "open" if record.status == "ok" else record.status
+        else:
+            wall = record.wall_ms
+            status = record.status
+        return SpanRecord(
+            name=record.name,
+            attrs=dict(record.attrs),
+            wall_ms=wall,
+            cpu_ms=record.cpu_ms,
+            rss_peak_delta_kib=record.rss_peak_delta_kib,
+            status=status,
+            counters=dict(record.counters),
+            gauges=dict(record.gauges),
+            children=[copy(child) for child in record.children],
+        )
+
+    return copy(recorder.root)
+
+
+class CheckpointWriter:
+    """Periodically flushes a partial manifest for crash recovery.
+
+    Driven from the recorder's heartbeat tick (``maybe_write``); writes
+    ``run-<id>.checkpoint.json`` atomically (tmp + rename) so a kill
+    mid-write can't leave a half manifest, and swallows OSError —
+    checkpointing must never take the run down with it.  The identity
+    fields (seeds, git sha) are computed once up front, not per flush.
+    """
+
+    def __init__(
+        self,
+        out_dir: Path | str,
+        run_id: str,
+        *,
+        config: object = None,
+        argv: list[str] | None = None,
+        every_s: float = 5.0,
+    ):
+        self.out_dir = Path(out_dir)
+        self.run_id = run_id
+        self.path = self.out_dir / f"run-{run_id}.checkpoint.json"
+        self.every_s = float(every_s)
+        self._config_name = getattr(config, "name", None)
+        self._seeds = seeds_of(config) if config is not None else {}
+        self._git_sha = current_git_sha()
+        self._argv = list(argv or [])
+        self._last = 0.0
+        self.writes = 0
+
+    def snapshot(self, recorder: Recorder) -> dict[str, object]:
+        """The checkpoint payload: a manifest dict plus liveness marks."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "incomplete": True,
+            "run_id": self.run_id,
+            "label": recorder.root.name,
+            "config_name": self._config_name,
+            "seeds": dict(self._seeds),
+            "git_sha": self._git_sha,
+            "argv": list(self._argv),
+            "checkpoint_unix": time.time(),
+            "spans": snapshot_tree(recorder).to_dict(),
+        }
+
+    def maybe_write(self, recorder: Recorder, *, force: bool = False) -> bool:
+        """Flush a checkpoint if ``every_s`` elapsed (or forced)."""
+        now = time.perf_counter()
+        if not force and now - self._last < self.every_s:
+            return False
+        self._last = now
+        data = self.snapshot(recorder)
+        tmp = self.path.with_suffix(".json.tmp")
+        try:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(data, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        except OSError:
+            return False
+        self.writes += 1
+        return True
+
+    def remove(self) -> None:
+        """Delete the checkpoint (the run completed; the manifest won)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_ms(ms: float) -> str:
+    if ms >= 60_000:
+        return f"{ms / 60_000:.1f}m"
+    if ms >= 1_000:
+        return f"{ms / 1_000:.1f}s"
+    return f"{ms:.0f}ms"
+
+
+def render_tail_line(event: dict[str, object]) -> str | None:
+    """One human line per event for ``repro obs tail`` (None: skip)."""
+    kind = event.get("ev")
+    t_ms = event.get("t_ms")
+    stamp = _fmt_ms(float(t_ms)) if isinstance(t_ms, (int, float)) else "-"
+    if kind == EV_RUN_HEADER:
+        config = event.get("config")
+        suffix = f" config={config}" if config else ""
+        return (
+            f"== run {event.get('run_id', '?')} "
+            f"label={event.get('label', 'run')}{suffix} "
+            f"pid={event.get('pid', '?')} schema={event.get('schema', '?')}"
+        )
+    if kind == EV_START:
+        depth = event.get("depth")
+        indent = "  " * max(0, int(depth) - 1 if isinstance(depth, int) else 0)
+        attrs = event.get("attrs")
+        extra = ""
+        if isinstance(attrs, dict) and attrs:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            extra = f" [{pairs}]"
+        return f"{stamp:>8} {indent}> {event.get('span', '?')}{extra}"
+    if kind == EV_END:
+        status = str(event.get("status", "ok"))
+        flag = "" if status == "ok" else f" !{status}"
+        wall = event.get("wall_ms")
+        wall_s = _fmt_ms(float(wall)) if isinstance(wall, (int, float)) else "?"
+        return f"{stamp:>8} < {event.get('span', '?')} ({wall_s}){flag}"
+    if kind == EV_HEARTBEAT:
+        path = event.get("path") or "(idle)"
+        rss = event.get("rss_kib")
+        rss_s = f" rss={int(rss) // 1024}MiB" if isinstance(rss, int) else ""
+        return f"{stamp:>8} -- hb @{path}{rss_s}"
+    if kind == EV_RUN_END:
+        wall = event.get("wall_ms")
+        wall_s = _fmt_ms(float(wall)) if isinstance(wall, (int, float)) else "?"
+        return f"{stamp:>8} == run_end status={event.get('status', '?')} wall={wall_s}"
+    return None
+
+
+def render_progress_bar(fraction: float | None, width: int = 30) -> str:
+    if fraction is None:
+        return "[" + "?" * width + "]"
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_watch(status: LiveStatus, *, now_unix: float | None = None) -> str:
+    """The live dashboard body for one ``repro obs watch`` frame."""
+    view = status.view
+    if now_unix is None:
+        now_unix = time.time()
+    lines: list[str] = []
+    state = "finished" if view.completed else "running"
+    if view.completed and view.end_status not in (None, "ok"):
+        state = f"finished ({view.end_status})"
+    title = f"run {view.run_id or '?'} · {view.label} · {state}"
+    lines.append(title)
+    lines.append("-" * len(title))
+    pct = (
+        f"{100.0 * status.fraction:5.1f}%" if status.fraction is not None
+        else "   ?  "
+    )
+    eta = (
+        f" ETA {_fmt_ms(status.eta_ms)}"
+        if status.eta_ms is not None and not view.completed else ""
+    )
+    expected = (
+        f" (expected total {_fmt_ms(status.expected_total_ms)})"
+        if status.expected_total_ms is not None else ""
+    )
+    lines.append(
+        f"{render_progress_bar(status.fraction)} {pct} "
+        f"elapsed {_fmt_ms(status.now_ms)}{eta}{expected}"
+    )
+    if view.last_unix is not None and not view.completed:
+        silent = max(0.0, now_unix - view.last_unix)
+        lines.append(f"last event: {silent:.1f}s ago")
+    if view.open_spans:
+        lines.append("open spans:")
+        for depth, (record, t0_ms) in enumerate(view.open_spans):
+            elapsed = max(0.0, status.now_ms - t0_ms)
+            lines.append(
+                f"  {'  ' * depth}{record.name}  +{_fmt_ms(elapsed)}"
+            )
+    counters = view.counters()
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters)[:12]:
+            lines.append(f"  {name} = {counters[name]:,.0f}")
+    if status.workers:
+        lines.append("workers:")
+        for worker in status.workers:
+            mark = "busy" if worker.busy else "idle"
+            chunk = f" chunk={worker.chunk}" if worker.chunk is not None else ""
+            lines.append(
+                f"  pid {worker.pid}: {mark}{chunk} "
+                f"({worker.last_ev} {worker.idle_s(now_unix):.1f}s ago)"
+            )
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ Counter increments and gauge values attach to the innermost open span.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checking only
     from repro.obs.events import EventSink
+    from repro.obs.live import CheckpointWriter
     from repro.obs.memory import MemoryProfiler
     from repro.obs.prof import SpanProfiler
 
@@ -210,6 +212,8 @@ class Recorder:
         event_sink: "EventSink | None" = None,
         profiler: "SpanProfiler | None" = None,
         memory: "MemoryProfiler | None" = None,
+        run_info: dict[str, object] | None = None,
+        heartbeat_every_s: float | None = None,
     ):
         self.root = SpanRecord(name=label)
         self._stack: list[SpanRecord] = [self.root]
@@ -237,6 +241,40 @@ class Recorder:
         #: to embed in the manifest's "memory" payload, set by producers
         #: before tracing() exits.
         self.memory_census: list[dict[str, object]] | None = None
+        #: Wall-clock start (``perf_counter``) of each span on the open
+        #: stack, index-parallel to ``_stack``; lets heartbeat and
+        #: checkpoint snapshots stamp elapsed time onto open spans.
+        self._open_wall0: list[float] = [self._wall_origin]
+        #: Running counter totals across the whole run, maintained on
+        #: every increment so heartbeats snapshot counters in O(keys)
+        #: instead of walking the span tree.
+        self._counter_totals: dict[str, float] = {}
+        #: Optional crash-safe checkpoint writer (repro.obs.live);
+        #: ``maybe_write`` is called from the heartbeat tick.
+        self.checkpoint: "CheckpointWriter | None" = None
+        # Heartbeats are opportunistic: checked on span push/pop, no
+        # threads.  Default on (1s) when events stream somewhere a tail
+        # reader could watch, off for purely in-memory recordings.
+        if heartbeat_every_s is None:
+            heartbeat_every_s = 1.0 if event_sink is not None else 0.0
+        self._hb_every = float(heartbeat_every_s)
+        self._hb_last = self._wall_origin
+        if event_sink is not None:
+            from repro.obs.events import EVENTS_SCHEMA
+
+            header: dict[str, object] = {
+                "ev": "run_header",
+                "schema": EVENTS_SCHEMA,
+                "label": label,
+                "pid": os.getpid(),
+                "unix": time.time(),  # repro-lint: disable=fork-wallclock -- absolute stream anchor for live readers, not a duration
+            }
+            if run_info:
+                header.update(run_info)
+            event_sink.emit(header)
+            flush = getattr(event_sink, "flush", None)
+            if callable(flush):
+                flush()
 
     @property
     def current(self) -> SpanRecord:
@@ -260,9 +298,57 @@ class Recorder:
     def counter_inc(self, name: str, amount: float = 1.0) -> None:
         counters = self._stack[-1].counters
         counters[name] = counters.get(name, 0.0) + amount
+        totals = self._counter_totals
+        totals[name] = totals.get(name, 0.0) + amount
 
     def gauge_set(self, name: str, value: float) -> None:
         self._stack[-1].gauges[name] = float(value)
+
+    def open_spans(self) -> list[tuple[SpanRecord, float]]:
+        """The open span stack as ``(record, perf_counter start)`` pairs.
+
+        Includes the root; consumed by checkpoint snapshots to stamp an
+        elapsed wall time onto spans that have not closed yet.
+        """
+        return list(zip(self._stack, self._open_wall0))
+
+    def open_path(self) -> str:
+        """Slash-joined names of the open spans below the root."""
+        return "/".join(record.name for record in self._stack[1:])
+
+    def heartbeat_event(self, now: float | None = None) -> None:
+        """Emit one ``hb`` event (and flush it) to the event sink."""
+        if self._events is None:
+            return
+        if now is None:
+            now = time.perf_counter()
+        self._events.emit({
+            "ev": "hb",
+            "t_ms": round((now - self._wall_origin) * 1000.0, 3),
+            "unix": time.time(),
+            "cpu_ms": round((time.process_time() - self._cpu_origin) * 1000.0, 3),
+            "rss_kib": _peak_rss_kib(),
+            "path": self.open_path(),
+            "depth": len(self._stack) - 1,
+            "counters": dict(self._counter_totals),
+        })
+        # Heartbeats exist to be read while the run is alive: bypass
+        # the sink's batching so the tail reader sees them promptly.
+        flush = getattr(self._events, "flush", None)
+        if callable(flush):
+            flush()
+
+    def _tick(self) -> None:
+        """Opportunistic heartbeat check, piggybacked on span push/pop."""
+        if self._hb_every <= 0.0:
+            return
+        now = time.perf_counter()
+        if now - self._hb_last < self._hb_every:
+            return
+        self._hb_last = now
+        self.heartbeat_event(now)
+        if self.checkpoint is not None:
+            self.checkpoint.maybe_write(self)
 
     def finish(self) -> SpanRecord:
         """Stamp the root span's totals (idempotent) and close the sink."""
@@ -272,6 +358,14 @@ class Recorder:
             self.root.cpu_ms = (time.process_time() - self._cpu_origin) * 1000.0
             self.root.rss_peak_delta_kib = max(0, _peak_rss_kib() - self._rss_origin)
             if self._events is not None:
+                self._events.emit({
+                    "ev": "run_end",
+                    "t_ms": round(self.root.wall_ms, 3),
+                    "wall_ms": round(self.root.wall_ms, 3),
+                    "cpu_ms": round(self.root.cpu_ms, 3),
+                    "status": self.root.status,
+                    "unix": time.time(),  # repro-lint: disable=fork-wallclock -- absolute end-of-run stamp for live readers, not a duration
+                })
                 self._events.close()
         return self.root
 
@@ -279,6 +373,7 @@ class Recorder:
     def _push(self, record: SpanRecord) -> None:
         self._stack[-1].children.append(record)
         self._stack.append(record)
+        self._open_wall0.append(time.perf_counter())
         if self.profiler is not None:
             self.profiler.span_push(record.name)
         if self.memory is not None:
@@ -291,6 +386,7 @@ class Recorder:
                 "depth": len(self._stack) - 1,
                 "attrs": {k: _plain(v) for k, v in record.attrs.items()},
             })
+        self._tick()
 
     def _pop(self, record: SpanRecord) -> None:
         # Unwind to the matching record so a mis-nested exit cannot wedge
@@ -298,6 +394,7 @@ class Recorder:
         while len(self._stack) > 1:
             if self._stack.pop() is record:
                 break
+        del self._open_wall0[len(self._stack):]
         if self.profiler is not None:
             self.profiler.span_pop()
         if self.memory is not None:
@@ -311,6 +408,7 @@ class Recorder:
                 "status": record.status,
                 "counters": dict(record.counters),
             })
+        self._tick()
 
 
 #: The process-local recorder; None means tracing is disabled.
@@ -353,6 +451,8 @@ def recording(
     event_sink: "EventSink | None" = None,
     profiler: "SpanProfiler | None" = None,
     memory: "MemoryProfiler | None" = None,
+    run_info: dict[str, object] | None = None,
+    heartbeat_every_s: float | None = None,
 ) -> Iterator[Recorder]:
     """Install a fresh recorder for the duration of the block.
 
@@ -364,7 +464,8 @@ def recording(
     global _CURRENT
     previous = _CURRENT
     recorder = Recorder(label, event_sink=event_sink, profiler=profiler,
-                        memory=memory)
+                        memory=memory, run_info=run_info,
+                        heartbeat_every_s=heartbeat_every_s)
     _CURRENT = recorder
     if profiler is not None:
         profiler.start()

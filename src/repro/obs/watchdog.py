@@ -1,0 +1,179 @@
+"""Stall detection over a live event stream.
+
+The watchdog answers one operational question about a run that hasn't
+printed anything lately: *is it still making progress?*  It reads the
+same schema-2 event stream the tail/watch surfaces use and flags three
+failure shapes, each grounded in evidence rather than a fixed timeout:
+
+- **stalled span** — an open span whose elapsed time exceeds its
+  historical budget (p95 + MAD margin from the trend history, the same
+  robust statistics as the regression gate);
+- **heartbeat gap** — the recorder has emitted nothing (no span
+  traffic, no heartbeat) for longer than the configured gap, which
+  catches a process wedged inside un-instrumented code or killed
+  without cleanup;
+- **worker stall** — a forked worker whose heartbeat side-channel shows
+  a ``task_start`` without a matching ``task_end`` for too long: the
+  parent may look alive (it's blocked in ``result()``) while the worker
+  is the thing that hung.
+
+``repro obs watchdog --gate`` exits non-zero on any finding, which is
+what lets CI babysit a backgrounded build.  A stream that carries the
+``run_end`` sentinel is *finished*: liveness rules don't apply (only a
+failed end status is reported, as a warning).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.live import (
+    Expectation,
+    StreamView,
+    WorkerStatus,
+    worker_statuses,
+)
+
+#: Default seconds of total event silence before flagging the parent.
+DEFAULT_HB_GAP_S = 10.0
+
+#: Default seconds a worker may sit inside one task before flagging.
+DEFAULT_WORKER_GAP_S = 30.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One watchdog verdict about a run's liveness."""
+
+    kind: str  # "stalled_span" | "heartbeat_gap" | "worker_stall" | "failed"
+    message: str
+    severity: str = "error"  # "error" gates; "warning" never does
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.message}"
+
+
+def check_stream(
+    view: StreamView,
+    expectations: dict[str, Expectation] | None = None,
+    *,
+    now_unix: float | None = None,
+    hb_gap_s: float = DEFAULT_HB_GAP_S,
+    worker_gap_s: float = DEFAULT_WORKER_GAP_S,
+    mad_k: float = 4.0,
+    min_budget_ms: float = 250.0,
+    worker_beats: dict[int, list[dict[str, object]]] | None = None,
+) -> list[Finding]:
+    """Evaluate every liveness rule against one replayed stream."""
+    if now_unix is None:
+        now_unix = time.time()
+    findings: list[Finding] = []
+    if view.completed:
+        if view.end_status not in (None, "ok"):
+            findings.append(Finding(
+                kind="failed",
+                message=(
+                    f"run {view.run_id or '?'} finished with "
+                    f"status={view.end_status}"
+                ),
+                severity="warning",
+            ))
+        return findings
+
+    # Rule 1: total event silence.  The stream's last_unix fuses the
+    # absolute stamps heartbeats carry with estimated stamps for span
+    # traffic, so a chatty run without heartbeats still counts as alive.
+    if view.last_unix is not None:
+        gap = now_unix - view.last_unix
+        if gap > hb_gap_s:
+            findings.append(Finding(
+                kind="heartbeat_gap",
+                message=(
+                    f"no events or heartbeats for {gap:.1f}s "
+                    f"(limit {hb_gap_s:.1f}s); last activity at "
+                    f"t=+{view.last_t_ms / 1000.0:.1f}s"
+                ),
+            ))
+
+    # Rule 2: an open span past its historical budget.
+    if expectations:
+        anchor = view.header_unix
+        now_ms = view.last_t_ms
+        if anchor is not None:
+            now_ms = max(now_ms, (now_unix - anchor) * 1000.0)
+        for record, t0_ms in view.open_spans:
+            expect = expectations.get(record.name)
+            if expect is None:
+                continue
+            elapsed = max(0.0, now_ms - t0_ms)
+            budget = expect.budget_ms(mad_k=mad_k, min_budget_ms=min_budget_ms)
+            if elapsed > budget:
+                findings.append(Finding(
+                    kind="stalled_span",
+                    message=(
+                        f"span '{record.name}' open for "
+                        f"{elapsed / 1000.0:.1f}s, budget "
+                        f"{budget / 1000.0:.1f}s (p95 "
+                        f"{expect.p95_ms / 1000.0:.1f}s + MAD margin, "
+                        f"n={expect.n} runs)"
+                    ),
+                ))
+
+    # Rule 3: a forked worker stuck inside one task.
+    if worker_beats:
+        for worker in worker_statuses(worker_beats):
+            if not worker.busy:
+                continue
+            idle = worker.idle_s(now_unix)
+            if idle > worker_gap_s:
+                chunk = (
+                    f" (chunk {worker.chunk})"
+                    if worker.chunk is not None else ""
+                )
+                findings.append(Finding(
+                    kind="worker_stall",
+                    message=(
+                        f"worker pid {worker.pid} has been inside "
+                        f"'{worker.last_ev}'{chunk} for {idle:.1f}s "
+                        f"(limit {worker_gap_s:.1f}s) with no "
+                        "task_end beat"
+                    ),
+                ))
+    return findings
+
+
+def gate_exit_code(findings: list[Finding]) -> int:
+    """0 when no error-severity finding; 1 otherwise (for ``--gate``)."""
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def render_report(
+    view: StreamView,
+    findings: list[Finding],
+    *,
+    workers: list[WorkerStatus] | None = None,
+    now_unix: float | None = None,
+) -> str:
+    """Human summary for the ``repro obs watchdog`` CLI."""
+    if now_unix is None:
+        now_unix = time.time()
+    lines: list[str] = []
+    state = "finished" if view.completed else "running"
+    lines.append(
+        f"watchdog: run {view.run_id or '?'} ({view.label}) — {state}, "
+        f"t=+{view.last_t_ms / 1000.0:.1f}s"
+    )
+    if view.open_spans:
+        path = "/".join(record.name for record, _ in view.open_spans)
+        lines.append(f"  open: {path}")
+    if workers:
+        busy = sum(1 for w in workers if w.busy)
+        lines.append(f"  workers: {len(workers)} seen, {busy} mid-task")
+    if findings:
+        for finding in findings:
+            lines.append(f"  {finding.render()}")
+    else:
+        verdict = "complete" if view.completed else "alive"
+        lines.append(f"  ok: run looks {verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,646 @@
+"""Live telemetry: heartbeats, progress/ETA, watchdog, checkpoints.
+
+The end-to-end liveness proofs for ``repro.obs.live`` and
+``repro.obs.watchdog``:
+
+- a SIGKILLed instrumented run leaves a loadable checkpoint manifest;
+- an injected stall (open span far past its historical budget) is
+  flagged by ``repro obs watchdog --gate`` with a non-zero exit;
+- a hung forked worker is detected through its missing ``task_end``
+  heartbeat, even while the parent looks alive;
+- the ETA model reproduces expected durations from >= 3 runs of trend
+  history using the same median+MAD statistics as the regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.events import EventLog, JsonlEventSink, read_events
+from repro.obs.live import (
+    TOTAL_METRIC,
+    CheckpointWriter,
+    EventFollower,
+    compute_status,
+    expectations_from_history,
+    heartbeat_dir_for,
+    manifest_from_events,
+    read_worker_heartbeats,
+    render_watch,
+    replay_events,
+    resolve_events_path,
+    set_worker_heartbeat_dir,
+    snapshot_tree,
+    worker_beat,
+    worker_statuses,
+)
+from repro.obs.manifest import load_manifest, tracing
+from repro.obs.trend import TrendRecord
+from repro.obs.watchdog import check_stream, gate_exit_code
+
+#: Import root of the package under test, for subprocess children.
+_SRC = str(Path(obs.__file__).resolve().parents[2])
+
+
+def _history(n: int = 4, *, label: str = "world-build") -> list[TrendRecord]:
+    """n prior runs: world.build ~1000ms, routing.compute ~500ms."""
+    return [
+        TrendRecord(
+            run_id=f"r{i}",
+            label=label,
+            kind="manifest",
+            config="small",
+            git_sha=None,
+            total_wall_ms=2000.0 + i,
+            series={
+                "world.build": 1000.0 + i,
+                "routing.compute": 500.0 + i,
+                "mem.rss_peak_kib": 4096.0,
+            },
+        )
+        for i in range(n)
+    ]
+
+
+def _write_history(tmp_path: Path, records: list[TrendRecord]) -> Path:
+    history = tmp_path / "history"
+    history.mkdir(exist_ok=True)
+    with open(history / "world-build.jsonl", "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record.to_dict()) + "\n")
+    return history
+
+
+def _stream(*events: dict) -> EventLog:
+    return EventLog(list(events))
+
+
+def _header(unix: float = 1000.0) -> dict:
+    return {
+        "ev": "run_header", "schema": 2, "label": "world-build",
+        "run_id": "rX", "pid": 1234, "unix": unix,
+    }
+
+
+class TestExpectations:
+    """The ETA model's statistics, from >= 3 runs of history."""
+
+    def test_median_mad_p95_from_history(self):
+        exps = expectations_from_history(_history(4))
+        build = exps["world.build"]
+        assert build.n == 4
+        assert build.median_ms == pytest.approx(1001.5)
+        assert build.p95_ms == pytest.approx(1003.0)
+        assert build.mad_ms == pytest.approx(1.0)
+        total = exps[TOTAL_METRIC]
+        assert total.median_ms == pytest.approx(2001.5)
+
+    def test_min_history_arms_like_the_regression_gate(self):
+        assert expectations_from_history(_history(2)) == {}
+        assert "world.build" in expectations_from_history(_history(3))
+
+    def test_memory_series_are_not_durations(self):
+        exps = expectations_from_history(_history(4))
+        assert "mem.rss_peak_kib" not in exps
+
+    def test_budget_is_p95_plus_mad_margin(self):
+        exps = expectations_from_history(_history(4))
+        build = exps["world.build"]
+        expected = build.p95_ms + 4.0 * 1.4826 * build.mad_ms
+        assert build.budget_ms() == pytest.approx(expected)
+        assert build.budget_ms(min_budget_ms=10_000.0) == 10_000.0
+
+
+class TestReplay:
+    """Event streams -> span trees, finished or torn."""
+
+    def test_open_spans_from_start_only_stream(self):
+        view = replay_events(_stream(
+            _header(),
+            {"ev": "start", "span": "world.build", "t_ms": 10.0, "depth": 1},
+            {"ev": "start", "span": "routing.compute", "t_ms": 20.0,
+             "depth": 2},
+            {"ev": "hb", "t_ms": 600.0, "unix": 1000.6, "path":
+             "world.build/routing.compute", "depth": 2, "counters": {"c": 1}},
+        ))
+        assert not view.completed
+        assert [r.name for r, _ in view.open_spans] == [
+            "world.build", "routing.compute",
+        ]
+        assert view.open_spans[0][1] == 10.0
+        assert view.root.find("routing.compute").status == "open"
+        assert view.last_t_ms == 600.0
+        assert view.counters() == {"c": 1.0}
+
+    def test_closed_spans_accumulate_by_name(self):
+        view = replay_events(_stream(
+            _header(),
+            {"ev": "start", "span": "a", "t_ms": 0.0, "depth": 1},
+            {"ev": "end", "span": "a", "t_ms": 5.0, "wall_ms": 5.0,
+             "status": "ok", "counters": {}},
+            {"ev": "start", "span": "a", "t_ms": 6.0, "depth": 1},
+            {"ev": "end", "span": "a", "t_ms": 10.0, "wall_ms": 4.0,
+             "status": "ok", "counters": {}},
+        ))
+        assert view.closed_ms_by_name == {"a": 9.0}
+        assert len(view.root.children) == 2
+        assert not view.open_spans
+
+    def test_run_end_marks_completed(self):
+        view = replay_events(_stream(
+            _header(),
+            {"ev": "run_end", "t_ms": 50.0, "wall_ms": 50.0,
+             "cpu_ms": 40.0, "status": "ok", "unix": 1000.05},
+        ))
+        assert view.completed and view.end_status == "ok"
+        assert view.root.wall_ms == 50.0
+
+    def test_last_unix_estimated_from_header_anchor(self):
+        view = replay_events(_stream(
+            _header(unix=2000.0),
+            {"ev": "start", "span": "a", "t_ms": 3000.0, "depth": 1},
+        ))
+        assert view.last_unix == pytest.approx(2003.0)
+
+
+class TestProgressEta:
+    def test_eta_against_historical_total(self):
+        exps = expectations_from_history(_history(4))
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "start", "span": "world.build", "t_ms": 0.0, "depth": 1},
+        ))
+        status = compute_status(view, exps, now_unix=1000.5)
+        # 500ms into a 1001.5ms-median build step out of ~1503ms of
+        # expected span work; ETA from the 2001.5ms historical total.
+        assert status.now_ms == pytest.approx(500.0, abs=1.0)
+        expected_fraction = 500.0 / (1001.5 + 501.5)
+        assert status.fraction == pytest.approx(expected_fraction, rel=0.01)
+        assert status.eta_ms == pytest.approx(2001.5 - 500.0, abs=1.0)
+
+    def test_fraction_caps_each_span_at_its_median(self):
+        exps = expectations_from_history(_history(4))
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "start", "span": "world.build", "t_ms": 0.0, "depth": 1},
+        ))
+        # 10x over the median: the span's contribution saturates, the
+        # run never reads as "done" from one slow stage alone.
+        status = compute_status(view, exps, now_unix=1010.0)
+        assert status.fraction == pytest.approx(
+            1001.5 / (1001.5 + 501.5), rel=0.01
+        )
+        assert status.fraction < 1.0
+
+    def test_completed_run_is_100_percent(self):
+        view = replay_events(_stream(
+            _header(),
+            {"ev": "run_end", "t_ms": 42.0, "wall_ms": 42.0, "status": "ok",
+             "unix": 1000.042},
+        ))
+        status = compute_status(view, expectations_from_history(_history(4)))
+        assert status.fraction == 1.0
+        assert status.eta_ms == 0.0
+
+    def test_render_watch_mentions_progress_and_spans(self):
+        exps = expectations_from_history(_history(4))
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "start", "span": "world.build", "t_ms": 0.0, "depth": 1},
+        ))
+        status = compute_status(view, exps, now_unix=1000.5)
+        text = render_watch(status, now_unix=1000.5)
+        assert "world.build" in text
+        assert "ETA" in text
+        assert "%" in text
+
+
+class TestWatchdog:
+    def test_quiet_completed_stream_is_ok(self):
+        view = replay_events(_stream(
+            _header(),
+            {"ev": "run_end", "t_ms": 10.0, "wall_ms": 10.0, "status": "ok",
+             "unix": 1000.01},
+        ))
+        findings = check_stream(view, now_unix=99999.0)
+        assert findings == []
+        assert gate_exit_code(findings) == 0
+
+    def test_heartbeat_gap_flags(self):
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "hb", "t_ms": 100.0, "unix": 1000.1, "path": "", "depth": 0,
+             "counters": {}},
+        ))
+        findings = check_stream(view, now_unix=1030.0, hb_gap_s=10.0)
+        assert [f.kind for f in findings] == ["heartbeat_gap"]
+        assert gate_exit_code(findings) == 1
+
+    def test_stalled_span_flags_against_budget(self):
+        exps = expectations_from_history(_history(4))
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "start", "span": "world.build", "t_ms": 0.0, "depth": 1},
+        ))
+        # 60s inside a ~1s-median span: stalled; keep hb_gap out of it.
+        findings = check_stream(
+            view, exps, now_unix=1060.0, hb_gap_s=1e9
+        )
+        assert [f.kind for f in findings] == ["stalled_span"]
+        assert "world.build" in findings[0].message
+
+    def test_span_inside_budget_is_quiet(self):
+        exps = expectations_from_history(_history(4))
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "start", "span": "world.build", "t_ms": 0.0, "depth": 1},
+        ))
+        findings = check_stream(view, exps, now_unix=1000.5, hb_gap_s=1e9)
+        assert findings == []
+
+    def test_hung_worker_flags_via_missing_task_end(self):
+        view = replay_events(_stream(
+            _header(unix=1000.0),
+            {"ev": "hb", "t_ms": 99000.0, "unix": 1099.0, "path": "", "depth": 0,
+             "counters": {}},
+        ))
+        beats = {
+            41: [
+                {"ev": "init", "pid": 41, "unix": 1000.0},
+                {"ev": "task_start", "pid": 41, "unix": 1001.0, "chunk": 3},
+            ],
+            42: [
+                {"ev": "task_start", "pid": 42, "unix": 1001.0, "chunk": 4},
+                {"ev": "task_end", "pid": 42, "unix": 1002.0, "chunk": 4},
+            ],
+        }
+        findings = check_stream(
+            view, now_unix=1100.0, hb_gap_s=1e9, worker_gap_s=30.0,
+            worker_beats=beats,
+        )
+        assert [f.kind for f in findings] == ["worker_stall"]
+        assert "pid 41" in findings[0].message
+        assert "chunk 3" in findings[0].message
+
+
+class TestWorkerHeartbeats:
+    def test_beat_is_noop_without_dir(self, tmp_path):
+        previous = set_worker_heartbeat_dir(None)
+        try:
+            worker_beat("task_start", chunk=0)  # must not raise or write
+        finally:
+            set_worker_heartbeat_dir(previous)
+
+    def test_beats_round_trip(self, tmp_path):
+        previous = set_worker_heartbeat_dir(tmp_path / "hb")
+        try:
+            worker_beat("init")
+            worker_beat("task_start", chunk=2)
+            worker_beat("task_end", chunk=2)
+        finally:
+            set_worker_heartbeat_dir(previous)
+        beats = read_worker_heartbeats(tmp_path / "hb")
+        assert list(beats) == [os.getpid()]
+        assert [b["ev"] for b in beats[os.getpid()]] == [
+            "init", "task_start", "task_end",
+        ]
+        (status,) = worker_statuses(beats)
+        assert status.pid == os.getpid()
+        assert not status.busy
+        assert status.chunk == 2
+
+    def test_torn_worker_line_is_skipped(self, tmp_path):
+        hb = tmp_path / "hb"
+        hb.mkdir()
+        (hb / "worker-7.jsonl").write_text(
+            '{"ev":"init","pid":7,"unix":1.0}\n{"ev":"task_st',
+            encoding="utf-8",
+        )
+        beats = read_worker_heartbeats(hb)
+        assert [b["ev"] for b in beats[7]] == ["init"]
+
+    def test_forked_pool_emits_beats(self, tmp_path):
+        """A real traced fan-out leaves per-worker liveness files."""
+        from repro.par.pool import map_deterministic, reset_worker_capture
+
+        with tracing(tmp_path, label="par-beats") as recorder:
+            result = map_deterministic(
+                _square, list(range(8)), workers=2,
+                initializer=reset_worker_capture,
+            )
+        assert result == [i * i for i in range(8)]
+        events_path = resolve_events_path(tmp_path)
+        beats = read_worker_heartbeats(heartbeat_dir_for(events_path))
+        assert beats, "workers wrote no heartbeat files"
+        all_evs = [b["ev"] for events in beats.values() for b in events]
+        assert "init" in all_evs
+        assert "task_start" in all_evs and "task_end" in all_evs
+        # Every worker ended idle: no stall findings.
+        view = replay_events(read_events(events_path))
+        findings = check_stream(
+            view, now_unix=time.time(), hb_gap_s=1e9, worker_beats=beats
+        )
+        assert findings == []
+        assert recorder.manifest_path is not None
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestCheckpoint:
+    def test_snapshot_marks_open_spans(self):
+        recorder = obs.Recorder("snap")
+        with recorder.span("outer"):
+            recorder.counter_inc("c", 2)
+            inner = recorder.span("inner")
+            inner.__enter__()
+            tree = snapshot_tree(recorder)
+            inner.__exit__(None, None, None)
+        assert tree.status == "open"  # root still open at snapshot time
+        outer = tree.find("outer")
+        assert outer.status == "open" and outer.counters == {"c": 2.0}
+        assert tree.find("inner").status == "open"
+        # The live tree is untouched by the copy.
+        assert recorder.root.find("inner").status == "ok"
+        recorder.finish()
+
+    def test_maybe_write_throttles(self, tmp_path):
+        recorder = obs.Recorder("cp")
+        writer = CheckpointWriter(tmp_path, "cp1", every_s=3600.0)
+        assert writer.maybe_write(recorder, force=True)
+        assert not writer.maybe_write(recorder)  # inside the interval
+        assert writer.writes == 1
+        manifest = load_manifest(writer.path)
+        assert manifest.incomplete
+        assert manifest.run_id == "cp1"
+        recorder.finish()
+
+    def test_tracing_removes_checkpoint_on_clean_exit(self, tmp_path):
+        with tracing(tmp_path, label="clean") as recorder:
+            with obs.span("world.build"):
+                pass
+        assert recorder.manifest_path is not None
+        assert not list(tmp_path.glob("*.checkpoint.json"))
+
+    def test_sigkill_leaves_loadable_checkpoint(self, tmp_path):
+        """The crash-safety proof: KILL the build, load the checkpoint."""
+        script = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {_SRC!r})\n"
+            "from repro.obs.manifest import tracing\n"
+            "from repro import obs\n"
+            f"with tracing({str(tmp_path)!r}, label='doomed',\n"
+            "             heartbeat_every_s=0.01,\n"
+            "             checkpoint_every_s=0.01) as rec:\n"
+            "    with obs.span('world.build'):\n"
+            "        obs.counter.inc('routing.routes_pushed', 7)\n"
+            "        for _ in range(200):\n"
+            "            with obs.span('routing.compute'):\n"
+            "                time.sleep(0.005)\n"
+            "            if rec.checkpoint.writes >= 3:\n"
+            "                print('READY', flush=True)\n"
+            "                time.sleep(60)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "READY" in line, f"child never checkpointed: {line!r}"
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+        (checkpoint,) = tmp_path.glob("run-*.checkpoint.json")
+        manifest = load_manifest(checkpoint)
+        assert manifest.incomplete
+        assert manifest.label == "doomed"
+        build = manifest.root.find("world.build")
+        assert build is not None and build.status == "open"
+        assert manifest.counters().get("routing.routes_pushed") == 7.0
+        # No ordinary manifest: the run never exited cleanly.
+        assert not list(tmp_path.glob("run-*[0-9].json"))
+        # The torn event stream is *also* loadable, and agrees.
+        events_path = resolve_events_path(tmp_path)
+        from_events = manifest_from_events(events_path)
+        assert from_events.incomplete
+        assert from_events.root.find("world.build") is not None
+        # And the summary CLI accepts both artifacts.
+        assert main(["obs", "summary", str(checkpoint)]) == 0
+        assert main(["obs", "summary", str(events_path)]) == 0
+
+
+class TestCliLive:
+    def _torn_stream(self, tmp_path: Path, label: str = "world-build") -> Path:
+        """An events file whose run opened world.build and went silent."""
+        path = tmp_path / "events-torn1.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        recorder = obs.Recorder(
+            label, event_sink=sink,
+            run_info={"run_id": "torn1"}, heartbeat_every_s=0.0,
+        )
+        span = recorder.span("world.build")
+        span.__enter__()
+        sink.flush()
+        # Abandon recorder/sink without finish(): a simulated kill.
+        return path
+
+    def _stale_stream(self, tmp_path: Path, *, age_s: float = 300.0) -> Path:
+        """A stream whose world.build opened ``age_s`` seconds ago."""
+        path = tmp_path / "events-stale1.jsonl"
+        header = {
+            "ev": "run_header", "schema": 2, "label": "world-build",
+            "run_id": "stale1", "pid": 999, "unix": time.time() - age_s,
+        }
+        start = {"ev": "start", "span": "world.build", "t_ms": 10.0,
+                 "depth": 1, "attrs": {}}
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps(start) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def test_watchdog_gate_flags_injected_stall(self, tmp_path, capsys):
+        events = self._stale_stream(tmp_path)
+        history = _write_history(tmp_path, _history(4))
+        # world.build has been open ~300s against a ~1s historical
+        # budget; hb-gap is pushed out so the stall rule does the work.
+        rc = main([
+            "obs", "watchdog", str(events), "--history", str(history),
+            "--gate", "--hb-gap", "999999",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stalled_span" in out
+        assert "world.build" in out
+
+    def test_watchdog_gate_ok_on_healthy_stream(self, tmp_path, capsys):
+        events = self._stale_stream(tmp_path)
+        history = _write_history(tmp_path, _history(4))
+        # Same stream, but budgets large enough that nothing is stalled.
+        rc = main([
+            "obs", "watchdog", str(events), "--history", str(history),
+            "--gate", "--hb-gap", "999999", "--min-budget", "99999999",
+        ])
+        assert rc == 0
+        assert "alive" in capsys.readouterr().out
+
+    def test_watchdog_gate_flags_hung_worker(self, tmp_path, capsys):
+        events = self._torn_stream(tmp_path)
+        hb = heartbeat_dir_for(events)
+        hb.mkdir()
+        stale = time.time() - 120.0
+        (hb / "worker-4242.jsonl").write_text(
+            json.dumps({"ev": "task_start", "pid": 4242, "unix": stale,
+                        "chunk": 0}) + "\n",
+            encoding="utf-8",
+        )
+        rc = main([
+            "obs", "watchdog", str(events), "--gate",
+            "--history", str(tmp_path / "nohistory"),
+            "--hb-gap", "999999", "--worker-gap", "30",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "worker_stall" in out
+        assert "4242" in out
+
+    def test_tail_until_end_follows_live_writer(self, tmp_path, capsys):
+        """Background an instrumented run; tail must see it finish."""
+        script = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {_SRC!r})\n"
+            "from repro.obs.manifest import tracing\n"
+            "from repro import obs\n"
+            f"with tracing({str(tmp_path)!r}, label='bg') as rec:\n"
+            "    for i in range(3):\n"
+            "        with obs.span('world.build', step=i):\n"
+            "            time.sleep(0.05)\n"
+        )
+        proc = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            rc = main([
+                "obs", "tail", str(tmp_path), "--until-end",
+                "--timeout", "60", "--poll", "0.05", "--wait", "30",
+            ])
+        finally:
+            proc.wait(timeout=60)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run_header" not in out  # rendered, not raw JSON
+        assert "== run " in out
+        assert out.count("> world.build") == 3
+        assert "run_end" in out
+
+    def test_tail_until_end_times_out_on_stalled_stream(
+        self, tmp_path, capsys
+    ):
+        events = self._torn_stream(tmp_path)
+        rc = main([
+            "obs", "tail", str(events), "--until-end", "--timeout", "0.2",
+            "--poll", "0.05",
+        ])
+        assert rc == 1
+        assert "timeout" in capsys.readouterr().err
+
+    def test_tail_once_prints_prefix_and_exits(self, tmp_path, capsys):
+        events = self._torn_stream(tmp_path)
+        rc = main(["obs", "tail", str(events), "--once"])
+        assert rc == 0
+        assert "> world.build" in capsys.readouterr().out
+
+    def test_watch_once_renders_eta_from_history(self, tmp_path, capsys):
+        events = self._torn_stream(tmp_path)
+        history = _write_history(tmp_path, _history(4))
+        rc = main([
+            "obs", "watch", str(events), "--once",
+            "--history", str(history),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "world.build" in out
+        assert "ETA" in out
+        assert "running" in out
+
+    def test_missing_target_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["obs", "tail", str(tmp_path / "void"), "--wait", "0"])
+        assert rc == 2
+        assert "no events JSONL" in capsys.readouterr().err
+
+
+class TestFollower:
+    def test_follow_generator_stops_at_run_end(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        with obs.recording("gen", event_sink=sink):
+            with obs.span("a"):
+                pass
+        follower = EventFollower(path)
+        events = list(follower.follow(poll_s=0.01, timeout_s=5.0))
+        assert events[-1]["ev"] == "run_end"
+        assert follower.completed
+
+    def test_resolve_picks_newest_stream(self, tmp_path):
+        old = tmp_path / "events-a.jsonl"
+        new = tmp_path / "events-b.jsonl"
+        old.write_text("", encoding="utf-8")
+        new.write_text("", encoding="utf-8")
+        stamp = time.time()
+        os.utime(old, (stamp - 100, stamp - 100))
+        os.utime(new, (stamp, stamp))
+        assert resolve_events_path(tmp_path) == new
+
+
+class TestHeartbeatEvents:
+    def test_opportunistic_heartbeats_appear_in_stream(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        recorder = obs.Recorder("hb", event_sink=sink,
+                                heartbeat_every_s=0.01)
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            with recorder.span("tick"):
+                pass
+            if any(e.get("ev") == "hb" for e in read_events(path)):
+                break
+            time.sleep(0.005)
+        recorder.finish()
+        events = read_events(path)
+        hbs = [e for e in events if e["ev"] == "hb"]
+        assert hbs, "no heartbeat was emitted by span traffic"
+        for hb in hbs:
+            assert {"t_ms", "unix", "cpu_ms", "rss_kib", "path",
+                    "depth", "counters"} <= set(hb)
+
+    def test_heartbeats_default_off_without_sink(self):
+        recorder = obs.Recorder("quiet")
+        assert recorder._hb_every == 0.0
+        recorder.finish()
+
+    def test_heartbeat_carries_running_counter_totals(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlEventSink(path, flush_every=1)
+        recorder = obs.Recorder("hb", event_sink=sink)
+        with recorder.span("a"):
+            recorder.counter_inc("x", 3)
+            with recorder.span("b"):
+                recorder.counter_inc("x", 2)
+                recorder.heartbeat_event()
+        recorder.finish()
+        hb = next(e for e in read_events(path) if e["ev"] == "hb")
+        assert hb["counters"] == {"x": 5.0}
+        assert hb["path"] == "a/b"
