@@ -57,6 +57,42 @@ def test_bench_compute_many_parallel(benchmark, world):
     assert tables_digest(tables) == tables_digest(serial)
 
 
+def test_bench_compute_many_large_serial(benchmark, large_routing):
+    """All LARGE-world announcements, one process.
+
+    The LARGE tier (~5k ASes) is where per-announcement compute is meant
+    to dominate fork/stage overhead; this pair feeds the enforced
+    ``repro obs speedup --gate`` for the large config.
+    """
+    topology, announcements = large_routing
+
+    def compute():
+        return RoutingEngine(topology).compute_many(announcements, workers=1)
+
+    tables = benchmark.pedantic(compute, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    _mark(benchmark)
+    benchmark.extra_info["announcements"] = len(announcements)
+    assert len(tables) == len(announcements)
+
+
+def test_bench_compute_many_large_parallel(benchmark, large_routing):
+    """The LARGE batch fanned across worker processes."""
+    topology, announcements = large_routing
+
+    def compute():
+        return RoutingEngine(topology).compute_many(
+            announcements, workers=BENCH_WORKERS
+        )
+
+    tables = benchmark.pedantic(compute, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    _mark(benchmark)
+    benchmark.extra_info["workers"] = BENCH_WORKERS
+    serial = RoutingEngine(topology).compute_many(announcements, workers=1)
+    assert tables_digest(tables) == tables_digest(serial)
+
+
 def test_bench_cache_cold(benchmark, world, tmp_path):
     """Cold persistent cache: every table computed, then stored."""
     announcements = world.registry.announcements()

@@ -44,7 +44,19 @@ from repro.experiments.world import World, get_world
 
 
 def _config_from_args(args: argparse.Namespace):
+    name = getattr(args, "config_name", None)
+    if name:
+        return config.by_name(name)
     return config.SMALL if getattr(args, "small", False) else config.DEFAULT
+
+
+def _add_config_argument(parser: argparse.ArgumentParser) -> None:
+    """``--config NAME`` preset selector (``--small`` stays as shorthand)."""
+    parser.add_argument(
+        "--config", dest="config_name", metavar="NAME",
+        choices=[c.name for c in config.CONFIGS],
+        help="world preset to build (%(choices)s); overrides --small",
+    )
 
 
 def _apply_cache_dir(args: argparse.Namespace) -> None:
@@ -552,6 +564,13 @@ def _cmd_obs_speedup(args: argparse.Namespace) -> int:
         print(render_pair(serial, parallel))
         return 0
     groups = groups_from_history(args.history)
+    config_filter = getattr(args, "config_filter", None)
+    if config_filter:
+        groups = [g for g in groups if (g.config or "-") == config_filter]
+        if not groups:
+            print(f"no serial/parallel pairs for config "
+                  f"{config_filter!r} in {args.history}", file=sys.stderr)
+            return 2
     text, regressions = render_speedup(
         groups, gate=args.gate, tol_pct=args.tol
     )
@@ -885,6 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_world = sub.add_parser("world", help="build and summarise a world")
     p_world.add_argument("--small", action="store_true",
                          help="use the reduced test-scale world")
+    _add_config_argument(p_world)
     p_world.add_argument("--trace", metavar="DIR",
                          help="record an obs trace of the build into DIR")
     p_world.add_argument("--cache-dir", metavar="DIR",
@@ -903,6 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment names (e.g. table3 fig6); empty = all")
     p_run.add_argument("--small", action="store_true",
                        help="use the reduced test-scale world")
+    _add_config_argument(p_run)
     p_run.add_argument("--json", metavar="FILE",
                        help="export structured results to FILE")
     p_run.add_argument("--plots", action="store_true",
@@ -1076,6 +1097,10 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="DIR",
                                help="trend history directory "
                                     "(default obs/history)")
+    p_obs_speedup.add_argument("--config", dest="config_filter",
+                               metavar="NAME", default=None,
+                               help="only analyse groups for this world "
+                                    "preset (e.g. large)")
     p_obs_speedup.add_argument("--gate", action="store_true",
                                help="exit non-zero when a group's latest "
                                     "speedup falls below its history")
@@ -1239,6 +1264,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(serial/parallel equality check)")
     p_digest.add_argument("--small", action="store_true",
                           help="use the reduced test-scale world")
+    _add_config_argument(p_digest)
     p_digest.add_argument("--cache-dir", metavar="DIR",
                           help="persist routing tables under DIR "
                                "(see also REPRO_CACHE_DIR)")

@@ -1,12 +1,19 @@
 """Experiment configuration: scales and seeds.
 
 All experiments are deterministic functions of one
-:class:`ExperimentConfig`.  Two presets are provided:
+:class:`ExperimentConfig`.  Four presets are provided:
 
 - :data:`DEFAULT` — the paper-scale world every number in EXPERIMENTS.md
   comes from;
 - :data:`SMALL` — a reduced world for unit tests and quick benchmark
-  iterations (same structure, fewer stubs and probes).
+  iterations (same structure, fewer stubs and probes);
+- :data:`LARGE` — ~5k ASes, the smallest tier where parallel routing
+  computes beat serial (fork/stage overhead amortizes);
+- :data:`XL` — ~25k ASes, CAIDA-shaped scale for capacity studies.
+
+LARGE and XL add an IX-ring (private peering between transit members of
+consecutive IXPs, the seed-emulator pattern) and shrink per-AS
+infrastructure prefixes so tens of thousands of ASes fit the 10/8 pool.
 """
 
 from __future__ import annotations
@@ -47,3 +54,44 @@ DEFAULT = ExperimentConfig()
 
 #: A small world for tests and fast benchmark iteration.
 SMALL = DEFAULT.scaled("small", num_stubs=300, num_probes=900)
+
+#: ~5k ASes (12 tier-1 + 600 transit + 4400 stubs): the parallel
+#: crossover tier — big enough that per-announcement compute dominates
+#: fork/stage overhead.
+LARGE = ExperimentConfig(
+    name="large",
+    topology=TopologyParams(
+        num_tier1=12,
+        num_transit=600,
+        num_stubs=4400,
+        transit_infra_prefix=21,
+        stub_infra_prefix=24,
+        ixp_ring=True,
+    ),
+    probes=replace(DEFAULT.probes, num_probes=3000),
+)
+
+#: ~25k ASes (16 tier-1 + 2000 transit + 23000 stubs), CAIDA-shaped.
+XL = ExperimentConfig(
+    name="xl",
+    topology=TopologyParams(
+        num_tier1=16,
+        num_transit=2000,
+        num_stubs=23000,
+        transit_infra_prefix=22,
+        stub_infra_prefix=25,
+        ixp_ring=True,
+    ),
+    probes=replace(DEFAULT.probes, num_probes=9000),
+)
+
+#: Every named preset, smallest first.
+CONFIGS: tuple[ExperimentConfig, ...] = (SMALL, DEFAULT, LARGE, XL)
+
+
+def by_name(name: str) -> ExperimentConfig:
+    """The preset named ``name``; raises ``KeyError`` when unknown."""
+    for config in CONFIGS:
+        if config.name == name:
+            return config
+    raise KeyError(f"unknown experiment config {name!r}")

@@ -494,10 +494,17 @@ def census_routing_table(name: str, table: Any) -> CensusRow:
     """Census row for one :class:`repro.routing.engine.RoutingTable`.
 
     ``bytes_per_route`` and ``bytes_per_as`` are the headline numbers the
-    flat-array routing refactor (ROADMAP item 1) must drive down; the
-    row gives its byte-identical before/after.
+    flat-array routing refactor (ROADMAP item 1) drives down; the row
+    gives its byte-identical before/after.
+
+    Tables that expose ``census_state()`` (the flat store) are measured
+    through it: the packed columns are the persistent footprint, while
+    lazily materialized ``Route`` objects and views are inspection-time
+    scratch that would double-count against the shared topology.
     """
-    size, objects = deep_sizeof(table)
+    state = getattr(table, "census_state", None)
+    target = state() if callable(state) else table
+    size, objects = deep_sizeof(target)
     routes = table.num_routes()
     ases = len(table.best)
     units: dict[str, float] = {

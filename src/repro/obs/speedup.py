@@ -25,7 +25,9 @@ same workload directly, for one-off experiments outside the bench suite.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from functools import lru_cache
 from pathlib import Path
 from statistics import median
 
@@ -154,6 +156,33 @@ def _pairs_in(record: TrendRecord) -> dict[str, tuple[float, float]]:
     return pairs
 
 
+@lru_cache(maxsize=1)
+def _known_config_names() -> tuple[str, ...]:
+    """Preset names, smallest tier first (import deferred: obs stays
+    importable without the experiments package)."""
+    from repro.experiments.config import CONFIGS
+
+    return tuple(config.name for config in CONFIGS)
+
+
+def _metric_config(metric: str, fallback: str | None) -> str | None:
+    """The world tier a bench metric belongs to.
+
+    Bench series embed the tier in the test name
+    (``bench.test_bench_compute_many_large``) while the artifact carries
+    a single top-level ``config`` stamp; without this, a LARGE pair
+    recorded by a small-stamped artifact would group under the wrong
+    tier and poison both medians.  Metrics naming no known preset fall
+    through to the record's own config — a series is never dropped for
+    carrying an unknown config token.
+    """
+    tokens = set(re.split(r"[._]", metric))
+    for name in _known_config_names():
+        if name in tokens:
+            return name
+    return fallback
+
+
 def _env_int(record: TrendRecord, key: str) -> int:
     value = record.env.get(key, 0)
     try:
@@ -176,7 +205,7 @@ def extract_groups(records: list[TrendRecord]) -> list[SpeedupGroup]:
         cpu_count = _env_int(record, "cpu_count")
         for metric, (serial_ms, parallel_ms) in _pairs_in(record).items():
             group = SpeedupGroup(
-                config=record.config,
+                config=_metric_config(metric, record.config),
                 metric=metric,
                 workers=workers,
                 cpu_count=cpu_count,

@@ -37,17 +37,23 @@ import json
 import os
 import struct
 import weakref
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.routing.engine import RouteChoice, RoutingTable
-from repro.routing.route import Announcement, PrefTier, Route
+from repro.routing.engine import RoutingTable
+from repro.routing.flat import FlatRoutingTable
+from repro.routing.route import Announcement
 from repro.topology.graph import Topology
 from repro.topology.io import dump_topology
 
 #: On-disk entry layout version; bump when the binary format changes.
-FORMAT_VERSION = 1
+#: v2 is the packed-column format: LEB128 varints for node ids, route
+#: counts, and path hops (stub ids near 10001 cost 2 bytes instead of
+#: 4), decoded straight into :class:`repro.routing.flat
+#: .FlatRoutingTable` columns without materializing Route objects.
+FORMAT_VERSION = 2
 
 MAGIC = b"RPRT"
 
@@ -100,8 +106,10 @@ FINGERPRINT_MODULES: tuple[str, ...] = (
     "repro.geoloc.database",
     "repro.netaddr.ipv4",
     "repro.routing.engine",
+    "repro.routing.flat",
     "repro.routing.route",
     "repro.topology.asys",
+    "repro.topology.flat",
     "repro.topology.graph",
 )
 
@@ -144,24 +152,79 @@ def announcement_key(announcement: Announcement) -> str:
 # Binary codec
 # ----------------------------------------------------------------------
 
+def _write_uvarint(out: bytearray, value: int) -> None:
+    """Append one unsigned LEB128 varint."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_uvarint(body: bytes, offset: int) -> tuple[int, int]:
+    """One unsigned LEB128 varint at ``offset``; returns (value, next)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(body):
+            raise CacheCorruption("truncated varint")
+        byte = body[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 35:
+            raise CacheCorruption("oversized varint")
+
+
 def encode_table(table: RoutingTable) -> bytes:
     """Serialise a routing table to a versioned, checksummed blob.
 
     The node order of ``table.best`` is preserved, so
     ``encode_table(decode)`` round-trips byte-identically — the property
-    the serial-vs-parallel digest checks build on.
+    the serial-vs-parallel digest checks build on.  Flat tables encode
+    straight from their packed columns; dict tables walk ``best`` — both
+    produce identical bytes for identical routing state, which is how
+    dict-vs-flat equivalence is asserted in one digest compare.
     """
     body = bytearray()
     key = announcement_key(table.announcement).encode()
     body += struct.pack("<H", len(key)) + key
-    body += struct.pack("<II", table._num_nodes, len(table.best))
-    for node_id, choice in table.best.items():
-        body += struct.pack("<IH", node_id, len(choice.routes))
-        for route in choice.routes:
-            body += struct.pack("<BB", int(route.tier), len(route.path))
-            body += struct.pack(f"<{len(route.path)}I", *route.path)
+    _write_uvarint(body, table._num_nodes)
+    _write_uvarint(body, len(table.best))
+    if isinstance(table, FlatRoutingTable):
+        _encode_flat_entries(body, table)
+    else:
+        for node_id, choice in table.best.items():
+            _write_uvarint(body, node_id)
+            _write_uvarint(body, len(choice.routes))
+            for route in choice.routes:
+                body.append(int(route.tier))
+                _write_uvarint(body, len(route.path))
+                for hop in route.path:
+                    _write_uvarint(body, hop)
     checksum = hashlib.sha256(bytes(body)).digest()
     return _HEADER.pack(MAGIC, FORMAT_VERSION) + checksum + bytes(body)
+
+
+def _encode_flat_entries(body: bytearray, table: FlatRoutingTable) -> None:
+    """Entry section straight off the packed columns (no Route objects)."""
+    node_ids = table._node_ids
+    choice_start = table._choice_start
+    tiers = table._tiers
+    path_start = table._path_start
+    path_nodes = table._path_nodes
+    for row in range(len(node_ids)):
+        _write_uvarint(body, node_ids[row])
+        lo, hi = choice_start[row], choice_start[row + 1]
+        _write_uvarint(body, hi - lo)
+        tier = tiers[row]
+        for j in range(lo, hi):
+            body.append(tier)
+            start, end = path_start[j], path_start[j + 1]
+            _write_uvarint(body, end - start)
+            for k in range(start, end):
+                _write_uvarint(body, path_nodes[k])
 
 
 def decode_table(
@@ -205,31 +268,54 @@ def _decode_table(
         raise CacheCorruption(
             f"announcement mismatch: entry holds {key!r}"
         )
-    num_nodes, num_entries = struct.unpack_from("<II", body, offset)
-    offset += 8
-    prefix = announcement.prefix
-    best: dict[int, RouteChoice] = {}
+    num_nodes, offset = _read_uvarint(body, offset)
+    num_entries, offset = _read_uvarint(body, offset)
+    node_ids = array("i")
+    tiers = array("b")
+    choice_start = array("i", [0])
+    path_start = array("i", [0])
+    path_nodes = array("i")
     for _ in range(num_entries):
-        node_id, num_routes = struct.unpack_from("<IH", body, offset)
-        offset += 6
-        routes = []
-        for _ in range(num_routes):
-            tier, path_len = struct.unpack_from("<BB", body, offset)
-            offset += 2
-            path = struct.unpack_from(f"<{path_len}I", body, offset)
-            offset += 4 * path_len
-            routes.append(
-                Route(prefix=prefix, origin=path[-1], path=path,
-                      tier=PrefTier(tier))
-            )
-        best[node_id] = RouteChoice(routes=tuple(routes))
+        node_id, offset = _read_uvarint(body, offset)
+        num_routes, offset = _read_uvarint(body, offset)
+        if num_routes < 1:
+            raise CacheCorruption("entry holds no routes")
+        entry_tier = -1
+        entry_len = -1
+        for route_index in range(num_routes):
+            if offset >= len(body):
+                raise CacheCorruption("truncated route record")
+            tier = body[offset]
+            offset += 1
+            if not 1 <= tier <= 5:
+                raise CacheCorruption(f"invalid preference tier {tier}")
+            path_len, offset = _read_uvarint(body, offset)
+            if path_len < 1:
+                raise CacheCorruption("route with an empty path")
+            if route_index == 0:
+                entry_tier, entry_len = tier, path_len
+            elif tier != entry_tier or path_len != entry_len:
+                raise CacheCorruption(
+                    "equal-best routes must share tier and length"
+                )
+            for _ in range(path_len):
+                hop, offset = _read_uvarint(body, offset)
+                path_nodes.append(hop)
+            path_start.append(len(path_nodes))
+        node_ids.append(node_id)
+        tiers.append(entry_tier)
+        choice_start.append(len(path_start) - 1)
     if offset != len(body):
         raise CacheCorruption("trailing bytes after the last entry")
-    return RoutingTable(
-        announcement=announcement,
-        best=best,
-        topology_version=topology_version,
-        _num_nodes=num_nodes,
+    return FlatRoutingTable(
+        announcement,
+        topology_version,
+        num_nodes,
+        node_ids,
+        choice_start,
+        tiers,
+        path_start,
+        path_nodes,
     )
 
 

@@ -107,6 +107,15 @@ def compute_fanout(
         return [engine.compute_uncached(a) for a in announcements]
     record = obs.active() is not None
     with obs.span("par.stage", items=len(announcements)):
+        # Flat adjacency and the full exit-km memo, built in the parent
+        # before the pool forks: children inherit the packed arrays and
+        # memo copy-on-write, so no worker recomputes a kilometre and no
+        # topology-object pages get dirtied by memo writes.  (Spawn-style
+        # pools ship the topology and rebuild per worker.)
+        from repro.topology.flat import flat_adjacency
+
+        adjacency = flat_adjacency(topology)
+        adjacency.precompute_km()
         if record:
             # Deep size of the staged state, memoized per topology
             # version (repro.obs.memory) — a dict probe on every
@@ -116,6 +125,10 @@ def compute_fanout(
             obs.gauge.set(
                 "mem.staged_topology_kib",
                 staged_footprint_bytes(topology, topology.version) / 1024.0,
+            )
+            obs.gauge.set(
+                "mem.staged_flat_kib",
+                staged_footprint_bytes(adjacency, adjacency.version) / 1024.0,
             )
         tasks = [
             (announcement, record, index)

@@ -33,6 +33,7 @@ single-best-announcement behaviour.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
@@ -46,6 +47,13 @@ from repro.topology.graph import Topology
 
 if TYPE_CHECKING:
     from repro.par.cache import RoutingTableCache
+    from repro.topology.flat import FlatAdjacency
+
+#: Environment knob for the flat compute path.  Unset or anything else
+#: means *flat* (the default); ``0``/``false``/``off``/``no`` fall back
+#: to the dict-of-dataclasses path.  Both paths are byte-identical
+#: through the codec; the knob exists for A/B benchmarking and triage.
+FLAT_ENV = "REPRO_FLAT"
 
 #: Tie-break description recorded on selection trails: how the engine
 #: orders routes *within* one equal-best set (see :meth:`RoutingEngine
@@ -144,11 +152,16 @@ class RoutingEngine:
     #: needs enough diversity to pick a nearby exit.
     MAX_EQUAL_BEST = 16
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology, *, use_flat: bool | None = None):
         self._topology = topology
         self._cache: dict[tuple[Announcement, int], RoutingTable] = {}
         self._exit_km_cache: dict[tuple[int, int], float] = {}
         self._exit_km_version = topology.version
+        if use_flat is None:
+            raw = os.environ.get(FLAT_ENV, "").strip().lower()
+            use_flat = raw not in {"0", "false", "off", "no"}
+        self._use_flat = use_flat
+        self._adj: "FlatAdjacency | None" = None
         self._cache_hits = 0
         self._cache_misses = 0
         self._pcache_hits = 0
@@ -288,10 +301,25 @@ class RoutingEngine:
         return hits / total if total else 0.0
 
     # ------------------------------------------------------------------
+    def _adjacency(self) -> "FlatAdjacency":
+        """The topology's flat adjacency, re-resolved on version change."""
+        adj = self._adj
+        if adj is None or adj.version != self._topology.version:
+            from repro.topology.flat import flat_adjacency
+
+            adj = self._adj = flat_adjacency(self._topology)
+        return adj
+
     def _exit_km(self, node_id: int, neighbor_id: int) -> float:
         """Deterministic hot-potato metric for primary-route selection:
         km from the node's nearest PoP to the closest interconnect of its
-        link toward ``neighbor_id``."""
+        link toward ``neighbor_id``.
+
+        Values come from the shared :class:`repro.topology.flat
+        .FlatAdjacency` memo, so the dict and flat compute paths rank
+        routes by byte-identical floats; the per-engine dict keeps
+        repeated dict-path lookups a single local probe.
+        """
         if self._exit_km_version != self._topology.version:
             self._exit_km_cache.clear()
             self._exit_km_version = self._topology.version
@@ -299,14 +327,7 @@ class RoutingEngine:
         cached = self._exit_km_cache.get(key)
         if cached is not None:
             return cached
-        link = self._topology.link_between(node_id, neighbor_id)
-        pops = self._topology.node(node_id).pops
-        km = min(
-            ic.city.location.distance_km(pop.city.location)
-            for ic in link.interconnects
-            for pop in pops
-        )
-        km = round(km, 3)
+        km = self._adjacency().exit_km(node_id, neighbor_id)
         self._exit_km_cache[key] = km
         return km
 
@@ -387,6 +408,18 @@ class RoutingEngine:
 
     # ------------------------------------------------------------------
     def _compute(self, announcement: Announcement) -> RoutingTable:
+        """Dispatch one real compute to the flat or dict path.
+
+        The flat path produces a :class:`repro.routing.flat
+        .FlatRoutingTable` with byte-identical codec output; provenance
+        capture forces the dict path, which materializes the ``Route``
+        objects selection trails record.
+        """
+        if self._use_flat and provenance.active() is None:
+            return self._compute_flat(announcement)
+        return self._compute_dict(announcement)
+
+    def _compute_dict(self, announcement: Announcement) -> RoutingTable:
         topo = self._topology
         prefix = announcement.prefix
         # Hoisted once per compute: the provenance branches below render
@@ -672,4 +705,213 @@ class RoutingEngine:
         if prov is not None:
             prov.emit("routing.table-computed", prefix=prefix_str,
                       routed=len(best), origins=len(origin_spec))
+        return table
+
+    # ------------------------------------------------------------------
+    def _compute_flat(self, announcement: Announcement) -> RoutingTable:
+        """The three-stage sweep over flat arrays and plain path tuples.
+
+        A route is just its AS-path tuple (``path[0]`` the holder,
+        ``path[1]`` the next hop, ``path[-1]`` the origin); a node's
+        equal-best set is ``(tier, [paths])`` with ``paths[0]`` primary.
+        Every ordering decision — BFS-level candidate discovery order,
+        the hot-potato sort key, heap entry tuples, equal-best caps and
+        dedup — mirrors :meth:`_compute_dict` exactly, so the packed
+        table it returns encodes byte-identically.  Runs only when no
+        provenance capture is active (trails need the dict path's
+        ``Route`` objects).
+        """
+        from repro.routing.flat import FlatRoutingTable
+
+        topo = self._topology
+        adj = self._adjacency()
+        origin_spec: dict[int, OriginSpec] = {
+            spec.site_node: spec for spec in announcement.origins
+        }
+        for site in origin_spec:
+            if not topo.has_node(site):
+                raise ValueError(f"announcement origin {site} not in topology")
+
+        exit_km = adj.exit_km
+        max_equal = self.MAX_EQUAL_BEST
+
+        best: dict[int, tuple[int, list[tuple[int, ...]]]] = {
+            site: (int(PrefTier.ORIGIN), [(site,)]) for site in origin_spec
+        }
+
+        def may_export(exporter: int, neighbor: int) -> bool:
+            spec = origin_spec.get(exporter)
+            return spec is None or spec.announces_to(neighbor)
+
+        splits = 0
+
+        def settle(
+            node: int, paths: list[tuple[int, ...]]
+        ) -> list[tuple[int, ...]]:
+            """Hot-potato sort + equal-best cap (cf. :meth:`_make_choice`)."""
+            nonlocal splits
+            if len(paths) > 1:
+                paths.sort(
+                    key=lambda path: (exit_km(node, path[1]), path[1], path[-1])
+                )
+                del paths[max_equal:]
+                if len(paths) > 1:
+                    splits += 1
+            return paths
+
+        # --- Stage 1: customer routes up ------------------------------
+        with obs.span("routing.stage1_customer"):
+            export_checks = 0
+            routes_pushed = 0
+            customer_tier = int(PrefTier.CUSTOMER)
+            providers = adj.providers
+            frontier = list(origin_spec)
+            while frontier:
+                candidates: dict[int, list[tuple[int, ...]]] = {}
+                for u in frontier:
+                    path_u = best[u][1][0]
+                    for p in providers(u):
+                        if p in best:
+                            continue
+                        export_checks += 1
+                        if not may_export(u, p):
+                            continue
+                        if p in path_u:
+                            continue
+                        routes_pushed += 1
+                        extended = (p,) + path_u
+                        held = candidates.get(p)
+                        if held is None:
+                            candidates[p] = [extended]
+                        else:
+                            held.append(extended)
+                frontier = []
+                for p, paths in candidates.items():
+                    # BFS level fixes the hop count, so all are equal-best.
+                    best[p] = (customer_tier, settle(p, paths))
+                    frontier.append(p)
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
+            if splits:
+                obs.counter.inc("routing.equal_best_splits", splits)
+                splits = 0
+
+        # --- Stage 2: peer routes, one lateral hop ---------------------
+        with obs.span("routing.stage2_peer"):
+            export_checks = 0
+            routes_pushed = 0
+            peers = adj.peers
+            peer_candidates: dict[
+                int, tuple[list[int], list[tuple[int, ...]]]
+            ] = {}
+            for u, (_tier_u, paths_u) in best.items():
+                path_u = paths_u[0]
+                for v, tier in peers(u):
+                    if v in best:
+                        continue
+                    export_checks += 1
+                    if not may_export(u, v):
+                        continue
+                    if v in path_u:
+                        continue
+                    routes_pushed += 1
+                    held_peer = peer_candidates.get(v)
+                    if held_peer is None:
+                        held_peer = ([], [])
+                        peer_candidates[v] = held_peer
+                    held_peer[0].append(tier)
+                    held_peer[1].append((v,) + path_u)
+            for v, (tiers, paths) in peer_candidates.items():
+                top_tier = max(tiers)
+                tiered = [p for t, p in zip(tiers, paths) if t == top_tier]
+                min_len = min(len(p) for p in tiered)
+                equal = [p for p in tiered if len(p) == min_len]
+                best[v] = (top_tier, settle(v, equal))
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
+            if splits:
+                obs.counter.inc("routing.equal_best_splits", splits)
+                splits = 0
+
+        # --- Stage 3: provider routes down ------------------------------
+        with obs.span("routing.stage3_provider"):
+            export_checks = 0
+            routes_pushed = 0
+            customers = adj.customers
+            provider_tier = int(PrefTier.PROVIDER)
+            heap: list[tuple[int, float, int, int, int]] = []
+            path_of_entry: dict[
+                tuple[int, float, int, int, int], tuple[int, ...]
+            ] = {}
+
+            def push(path: tuple[int, ...], via: int) -> None:
+                nonlocal routes_pushed
+                routes_pushed += 1
+                entry = (
+                    len(path) - 1,
+                    exit_km(path[0], via),
+                    via,
+                    path[-1],
+                    path[0],
+                )
+                path_of_entry[entry] = path
+                heapq.heappush(heap, entry)
+
+            for u, (_tier_u, paths_u) in best.items():
+                path_u = paths_u[0]
+                for c in customers(u):
+                    if c in best:
+                        continue
+                    export_checks += 1
+                    if not may_export(u, c):
+                        continue
+                    if c in path_u:
+                        continue
+                    push((c,) + path_u, u)
+            provider_paths: dict[int, list[tuple[int, ...]]] = {}
+            provider_hops: dict[int, int] = {}
+            while heap:
+                entry = heapq.heappop(heap)
+                path = path_of_entry.pop(entry)
+                node = entry[4]
+                if node in best:
+                    continue
+                assigned = provider_hops.get(node)
+                if assigned is None:
+                    # First (best) provider route: assign and export onward.
+                    provider_hops[node] = entry[0]
+                    provider_paths[node] = [path]
+                    for c in customers(node):
+                        if c in best:
+                            continue
+                        if c in path:
+                            continue
+                        push((c,) + path, node)
+                elif entry[0] == assigned:
+                    # Equal-best alternate via a different neighbor.
+                    existing = provider_paths[node]
+                    via = path[1]
+                    if (
+                        len(existing) < max_equal
+                        and all(p[1] != via for p in existing)
+                    ):
+                        existing.append(path)
+                # Longer provider routes are simply ignored.
+            for node, paths in provider_paths.items():
+                best[node] = (provider_tier, settle(node, paths))
+            obs.counter.inc("routing.export_checks", export_checks)
+            obs.counter.inc("routing.routes_pushed", routes_pushed)
+            if splits:
+                obs.counter.inc("routing.equal_best_splits", splits)
+
+        table = FlatRoutingTable.from_rows(
+            announcement,
+            topo.version,
+            topo.num_nodes,
+            (
+                (node, tier, paths)
+                for node, (tier, paths) in best.items()
+            ),
+        )
+        obs.gauge.set("routing.routed_nodes", len(best))
         return table

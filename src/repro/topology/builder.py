@@ -122,6 +122,17 @@ class TopologyParams:
     #: Interconnect extra-latency range, in milliseconds.
     interconnect_extra_ms: tuple[float, float] = (0.1, 1.2)
     ixp_cities: tuple[str, ...] = _DEFAULT_IXP_CITIES
+    #: Infrastructure prefix length allocated per AS, by tier.  /19 per
+    #: node caps the 10.0.0.0/8 pool at 2048 ASes; the LARGE/XL presets
+    #: shrink transit and stub allocations to fit tens of thousands.
+    tier1_infra_prefix: int = 19
+    transit_infra_prefix: int = 19
+    stub_infra_prefix: int = 19
+    #: Wire transit members of consecutive IXPs into a private-peering
+    #: ring (the seed-emulator IX-ring pattern).  Off by default so the
+    #: DEFAULT/SMALL RNG streams — and their golden topologies — are
+    #: untouched; LARGE/XL enable it.
+    ixp_ring: bool = False
 
     def __post_init__(self) -> None:
         if self.num_tier1 < 3:
@@ -176,6 +187,16 @@ class InternetBuilder:
         self.plan = plan or AddressPlan.default()
         self._rng = random.Random(self.params.seed)
         self._next_asn = {Tier.TIER1: 101, Tier.TRANSIT: 2001, Tier.STUB: 10001}
+        self._infra_prefix = {
+            Tier.TIER1: self.params.tier1_infra_prefix,
+            Tier.TRANSIT: self.params.transit_infra_prefix,
+            Tier.STUB: self.params.stub_infra_prefix,
+        }
+        #: Proximity-ranked transit pools per stub metro.  The ranking is
+        #: a pure sort (no RNG draws), so memoizing it changes nothing in
+        #: the random stream — it only stops LARGE/XL builds re-sorting
+        #: hundreds of transits for every one of thousands of stubs.
+        self._stub_pools: dict[str, list[AutonomousSystem]] = {}
 
     # ------------------------------------------------------------------
     def build(self) -> Topology:
@@ -211,7 +232,7 @@ class InternetBuilder:
     ) -> AutonomousSystem:
         asn = self._next_asn[tier]
         self._next_asn[tier] += 1
-        infra = self.plan.infra.allocate(19)
+        infra = self.plan.infra.allocate(self._infra_prefix[tier])
         return AutonomousSystem(
             node_id=asn,
             asn=asn,
@@ -346,13 +367,16 @@ class InternetBuilder:
         self, city: City, area_transits: list[AutonomousSystem]
     ) -> list[AutonomousSystem]:
         """Choose 1-2 nearby transits for a stub, weighted toward proximity."""
-        ranked = sorted(
-            area_transits,
-            key=lambda t: t.nearest_pop(city).city.location.distance_km(city.location),
-        )
-        # Sample from the nearest candidates with mild randomness so stubs
-        # in one metro do not all share a single provider.
-        pool = ranked[: max(4, len(ranked) // 4)]
+        pool = self._stub_pools.get(city.iata)
+        if pool is None:
+            ranked = sorted(
+                area_transits,
+                key=lambda t: t.nearest_pop(city).city.location.distance_km(city.location),
+            )
+            # Sample from the nearest candidates with mild randomness so
+            # stubs in one metro do not all share a single provider.
+            pool = ranked[: max(4, len(ranked) // 4)]
+            self._stub_pools[city.iata] = pool
         first = self._rng.choice(pool)
         providers = [first]
         if self._rng.random() < self.params.stub_multihome_prob and len(pool) > 1:
@@ -365,6 +389,7 @@ class InternetBuilder:
     # ------------------------------------------------------------------
     def _build_ixps(self, topo: Topology) -> None:
         nodes = list(topo.nodes())
+        transit_members_per_ixp: list[list[AutonomousSystem]] = []
         for i, iata in enumerate(self.params.ixp_cities):
             city = self.atlas.get(iata)
             ixp = IXP(
@@ -392,6 +417,42 @@ class InternetBuilder:
                     ixp.join(node.node_id)
                     members.append(node)
             self._wire_ixp(topo, ixp, members)
+            transit_members_per_ixp.append(
+                [m for m in members if m.tier is Tier.TRANSIT]
+            )
+        if self.params.ixp_ring and len(transit_members_per_ixp) > 1:
+            self._wire_ixp_ring(topo, transit_members_per_ixp)
+
+    def _wire_ixp_ring(
+        self,
+        topo: Topology,
+        transit_members_per_ixp: list[list[AutonomousSystem]],
+    ) -> None:
+        """Privately peer one transit of each IXP with one of the next.
+
+        The seed-emulator IX-ring: consecutive exchanges are stitched
+        through their transit members, giving large worlds the lateral
+        backbone real regional ecosystems have without inflating the
+        tier-1 clique.  Only runs when ``ixp_ring`` is set, so presets
+        that predate the knob keep their exact RNG stream.
+        """
+        count = len(transit_members_per_ixp)
+        for i in range(count):
+            here = transit_members_per_ixp[i]
+            there = transit_members_per_ixp[(i + 1) % count]
+            if not here or not there:
+                continue
+            a = self._rng.choice(here)
+            candidates = [
+                t
+                for t in there
+                if t.node_id != a.node_id
+                and not topo.has_link(a.node_id, t.node_id)
+            ]
+            if not candidates:
+                continue
+            b = self._rng.choice(candidates)
+            self._link_peers(topo, a, b, LinkKind.PEER_PRIVATE)
 
     def _wire_ixp(
         self, topo: Topology, ixp: IXP, members: list[AutonomousSystem]

@@ -1,0 +1,190 @@
+"""Flat int-indexed adjacency: the routing engine's hot-path view.
+
+The :class:`~repro.topology.graph.Topology` container is built for
+mutation and attribution — dicts of lists, dataclass nodes, per-link
+interconnect objects.  The Gao-Rexford sweep only needs three things per
+node: its providers, its customers, and its peers with their preference
+tier.  :class:`FlatAdjacency` packs exactly that into CSR-style
+``array('i')`` columns, built once per topology version and memoized, so
+the three-pass engine iterates int arrays instead of chasing object
+graphs — and so forked workers inherit one compact, copy-on-write block
+instead of touching (and copying) the object topology's refcounts.
+
+Neighbor order inside each CSR row is the *insertion order* of the
+underlying topology's adjacency lists.  The engine's results are
+insertion-order sensitive (equal-best sets preserve discovery order
+before the hot-potato sort), so this mirroring is what keeps flat and
+dict computes byte-identical.
+
+The exit-kilometre metric (nearest PoP to nearest link interconnect —
+the hot-potato tie-break) is served from a per-adjacency memo backed by
+a module-level city-pair distance memo, filled lazily or all at once via
+:meth:`FlatAdjacency.precompute_km` before a fan-out forks workers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import TYPE_CHECKING, Iterator
+
+from repro.routing.route import PrefTier
+from repro.topology.asys import LinkKind
+
+if TYPE_CHECKING:
+    from repro.geo.coords import GeoPoint
+    from repro.topology.graph import Topology
+
+#: Great-circle km between two city locations, memoized per GeoPoint
+#: pair.  GeoPoints are frozen/hashable and version-independent, so the
+#: memo is shared across topologies and never invalidated.
+_PAIR_KM: dict[tuple["GeoPoint", "GeoPoint"], float] = {}
+
+
+def _pair_km(a: "GeoPoint", b: "GeoPoint") -> float:
+    key = (a, b)
+    km = _PAIR_KM.get(key)
+    if km is None:
+        km = a.distance_km(b)
+        _PAIR_KM[key] = km  # repro-lint: disable=fork-global-write -- idempotent content-derived memo
+    return km
+
+
+class FlatAdjacency:
+    """CSR provider/customer/peer arrays over one topology version."""
+
+    __slots__ = (
+        "version",
+        "num_nodes",
+        "node_ids",
+        "_row",
+        "_prov_ptr",
+        "_prov_ids",
+        "_cust_ptr",
+        "_cust_ids",
+        "_peer_ptr",
+        "_peer_ids",
+        "_peer_tiers",
+        "_km",
+        "_topology_ref",
+        "__weakref__",
+    )
+
+    def __init__(self, topology: "Topology"):
+        self.version = topology.version
+        self.num_nodes = topology.num_nodes
+        # Weak: the memo in flat_adjacency() keys on the topology, so a
+        # strong back-reference here would make every entry immortal.
+        self._topology_ref: "weakref.ref[Topology]" = weakref.ref(topology)
+        ids = [node.node_id for node in topology.nodes()]
+        self.node_ids = array("i", ids)
+        self._row = {node_id: row for row, node_id in enumerate(ids)}
+        rs_tier = int(PrefTier.RS_PEER)
+        peer_tier = int(PrefTier.PEER)
+        prov_ptr = array("i", [0])
+        prov_ids = array("i")
+        cust_ptr = array("i", [0])
+        cust_ids = array("i")
+        peer_ptr = array("i", [0])
+        peer_ids = array("i")
+        peer_tiers = array("b")
+        for node_id in ids:
+            prov_ids.extend(topology.providers_of(node_id))
+            prov_ptr.append(len(prov_ids))
+            cust_ids.extend(topology.customers_of(node_id))
+            cust_ptr.append(len(cust_ids))
+            for neighbor, kind in topology.peers_of(node_id):
+                peer_ids.append(neighbor)
+                peer_tiers.append(
+                    rs_tier if kind is LinkKind.PEER_ROUTE_SERVER else peer_tier
+                )
+            peer_ptr.append(len(peer_ids))
+        self._prov_ptr = prov_ptr
+        self._prov_ids = prov_ids
+        self._cust_ptr = cust_ptr
+        self._cust_ids = cust_ids
+        self._peer_ptr = peer_ptr
+        self._peer_ids = peer_ids
+        self._peer_tiers = peer_tiers
+        #: ``(node << 32) | neighbor`` -> exit km; filled lazily (or all
+        #: at once by :meth:`precompute_km`).
+        self._km: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def providers(self, node_id: int) -> array:
+        row = self._row[node_id]
+        return self._prov_ids[self._prov_ptr[row]:self._prov_ptr[row + 1]]
+
+    def customers(self, node_id: int) -> array:
+        row = self._row[node_id]
+        return self._cust_ids[self._cust_ptr[row]:self._cust_ptr[row + 1]]
+
+    def peers(self, node_id: int) -> Iterator[tuple[int, int]]:
+        """``(neighbor, PrefTier int)`` pairs, adjacency-list order."""
+        row = self._row[node_id]
+        lo, hi = self._peer_ptr[row], self._peer_ptr[row + 1]
+        return zip(self._peer_ids[lo:hi], self._peer_tiers[lo:hi])
+
+    # ------------------------------------------------------------------
+    def exit_km(self, node_id: int, neighbor_id: int) -> float:
+        """Hot-potato metric: km from the node's nearest PoP to the
+        closest interconnect of its link toward ``neighbor_id``.
+
+        Byte-for-byte the same value :class:`repro.routing.engine
+        .RoutingEngine` historically computed inline: the same min over
+        interconnect x PoP city pairs, rounded to 3 decimals.
+        """
+        key = (node_id << 32) | neighbor_id
+        km = self._km.get(key)
+        if km is None:
+            topology = self._topology_ref()
+            if topology is None:
+                raise RuntimeError(
+                    "FlatAdjacency outlived its topology; exit-km lookups "
+                    "need the source graph (call precompute_km before "
+                    "dropping it)"
+                )
+            link = topology.link_between(node_id, neighbor_id)
+            pops = topology.node(node_id).pops
+            km = min(
+                _pair_km(ic.city.location, pop.city.location)
+                for ic in link.interconnects
+                for pop in pops
+            )
+            km = round(km, 3)
+            self._km[key] = km
+        return km
+
+    def precompute_km(self) -> int:
+        """Fill the exit-km memo for every directed link end.
+
+        Called by the parallel plane before forking so workers inherit a
+        complete memo copy-on-write instead of each recomputing (and
+        privately copying) it.  Returns the memo size.
+        """
+        topology = self._topology_ref()
+        if topology is None:
+            return len(self._km)
+        for link in topology.links():
+            self.exit_km(link.a, link.b)
+            self.exit_km(link.b, link.a)
+        return len(self._km)
+
+
+_ADJACENCIES: "weakref.WeakKeyDictionary[Topology, FlatAdjacency]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def flat_adjacency(topology: "Topology") -> FlatAdjacency:
+    """The flat adjacency of a topology, memoized per version.
+
+    Stale entries (the topology mutated since the build) are replaced;
+    entries die with their topology (weak keys, and the adjacency holds
+    only a weak back-reference).
+    """
+    adjacency = _ADJACENCIES.get(topology)
+    if adjacency is None or adjacency.version != topology.version:
+        adjacency = FlatAdjacency(topology)
+        _ADJACENCIES[topology] = adjacency  # repro-lint: disable=fork-global-write -- idempotent content-derived memo
+    return adjacency

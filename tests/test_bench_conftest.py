@@ -74,27 +74,51 @@ class TestMergeBenchArtifacts:
         fresh = _artifact(run_id="r-new", benchmarks={"test_a": 12.0})
         assert mod.merge_bench_artifacts(existing, fresh) is fresh
 
-    def test_config_mismatch_replaces_wholesale(self):
-        mod = _load_bench_conftest()
-        existing = _artifact(config="MEDIUM")
-        fresh = _artifact(run_id="r-new")
-        assert mod.merge_bench_artifacts(existing, fresh) is fresh
+    def test_config_mismatch_merges_by_key(self):
+        """Different config stamps no longer refuse the merge.
 
-    def test_config_mismatch_keeps_fuller_existing(self):
-        """A partial run must not demote a fuller incomparable artifact.
-
-        Config mismatch means no key-level merge is meaningful — but a
-        single-module run (1 benchmark key) replacing a full-suite
-        artifact (2 keys) would silently shrink the committed history,
-        so the existing artifact survives untouched.
+        The speedup analyzer derives each series' tier from the test
+        name, so artifacts from different world configs can share one
+        file; the merge must union the sections instead of dropping
+        either side's series.
         """
         mod = _load_bench_conftest()
-        existing = _artifact(config="MEDIUM")
-        fresh = _artifact(
-            run_id="r-new", benchmarks={"test_a": 12.0},
+        existing = _artifact(config="large",
+                             benchmarks={"test_large_pair": 5000.0})
+        fresh = _artifact(run_id="r-new")
+        merged = mod.merge_bench_artifacts(existing, fresh)
+        assert merged["run_id"] == "r-new"
+        assert merged["benchmarks"] == {
+            "test_large_pair": 5000.0, "test_a": 10.0, "test_b": 20.0,
+        }
+        assert merged["total_wall_ms"] == 5030.0
+
+    def test_config_stamp_follows_fuller_artifact(self):
+        """The artifact-level config comes from the run with more keys.
+
+        A single-module LARGE run (1 benchmark key) merging into a
+        full SMALL-suite artifact (2 keys) keeps the SMALL stamp; a
+        fuller fresh run takes the stamp over.
+        """
+        mod = _load_bench_conftest()
+        existing = _artifact()
+        partial = _artifact(
+            run_id="r-new", config="large",
+            benchmarks={"test_large_pair": 5000.0},
             experiments={}, counters={}, memory={},
         )
-        assert mod.merge_bench_artifacts(existing, fresh) is existing
+        merged = mod.merge_bench_artifacts(existing, partial)
+        assert merged["config"] == "SMALL"
+        assert merged["benchmarks"] == {
+            "test_a": 10.0, "test_b": 20.0, "test_large_pair": 5000.0,
+        }
+        fuller = _artifact(
+            run_id="r-next", config="large",
+            benchmarks={"test_large_pair": 5000.0, "test_c": 1.0,
+                        "test_d": 2.0},
+        )
+        merged = mod.merge_bench_artifacts(existing, fuller)
+        assert merged["config"] == "large"
 
     def test_memory_section_merges_by_key(self):
         mod = _load_bench_conftest()

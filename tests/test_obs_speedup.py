@@ -88,6 +88,36 @@ class TestExtraction:
         groups = extract_groups([record])
         assert [g.metric for g in groups] == ["bench.test_bench_world_build"]
 
+    def test_metric_config_token_overrides_artifact_stamp(self):
+        """A LARGE pair inside a small-stamped artifact groups as large."""
+        record = _bench_record(
+            0, 30000.0, 9000.0,
+            metric="bench.test_bench_compute_many_large",
+        )
+        record.series["bench.test_bench_world_build_serial"] = 4900.0
+        record.series["bench.test_bench_world_build_parallel"] = 10300.0
+        groups = extract_groups([record])
+        configs = {g.metric: g.config for g in groups}
+        assert configs["bench.test_bench_compute_many_large"] == "large"
+        assert configs["bench.test_bench_world_build"] == "SMALL"
+
+    def test_unknown_config_bench_key_not_dropped(self):
+        """Metrics naming no known preset keep their record's config."""
+        from dataclasses import replace
+
+        record = replace(
+            _bench_record(
+                0, 2000.0, 1000.0,
+                metric="bench.test_bench_compute_many_exotic",
+            ),
+            config="frontier",
+        )
+        groups = extract_groups([record])
+        assert len(groups) == 1
+        assert groups[0].config == "frontier"
+        assert groups[0].metric == "bench.test_bench_compute_many_exotic"
+        assert groups[0].latest.speedup == pytest.approx(2.0)
+
     def test_groups_from_history_round_trip(self, tmp_path):
         for record in _losing_history(3):
             append_record(tmp_path, record)
